@@ -1,0 +1,86 @@
+"""Fig. 8 — execution time of the 16 PrIM applications, native vs vPIM,
+with 1 rank (60 DPUs) and 8 ranks (480 DPUs), strong scaling.
+
+Paper results being reproduced (shape, not absolute time):
+
+- 60 DPUs: overhead between 1.01x (BS) and 2.07x (NW), average 1.24x;
+- 480 DPUs: overhead between 1.02x and 2.89x (TRNS), average 1.54x —
+  overhead *grows* with DPU count because per-DPU transfers shrink;
+- SEL/UNI/SpMV/BFS get *slower* with more DPUs (serial transfer steps);
+- RED's Inter-DPU step explodes (prefetch pathology, 33x-145x);
+- BFS Inter-DPU carries ~3x from per-level handshakes.
+"""
+
+from repro.analysis.figures import fig8_prim_applications
+from repro.analysis.report import PAPER_CLAIMS, format_table
+
+SERIAL_APPS = ("SEL", "UNI", "SpMV", "BFS")
+
+
+def bench_fig08_prim_strong_scaling(once):
+    runs = once(fig8_prim_applications, profile="bench",
+                dpu_counts=(60, 480))
+    by_key = {(r.app, r.nr_dpus): r for r in runs}
+
+    rows = []
+    for run in runs:
+        seg = run.vpim.segments
+        rows.append((run.app, run.nr_dpus,
+                     f"{run.native.segments_total * 1e3:.1f}",
+                     f"{run.vpim.segments_total * 1e3:.1f}",
+                     f"{run.overhead:.2f}x",
+                     f"{seg['CPU-DPU'] * 1e3:.1f}",
+                     f"{seg['DPU'] * 1e3:.1f}",
+                     f"{seg['Inter-DPU'] * 1e3:.1f}",
+                     f"{seg['DPU-CPU'] * 1e3:.1f}",
+                     "OK" if (run.native.verified and run.vpim.verified)
+                     else "MISMATCH"))
+    print()
+    print(format_table(
+        ["App", "DPUs", "native ms", "vPIM ms", "overhead",
+         "CPU-DPU", "DPU", "Inter-DPU", "DPU-CPU", "verify"],
+        rows, title="Fig. 8 - PrIM strong scaling (measured)"))
+
+    claims = PAPER_CLAIMS["fig8"]
+    ov60 = [by_key[(a, 60)].overhead for a, n in by_key if n == 60]
+    ov480 = [by_key[(a, 480)].overhead for a, n in by_key if n == 480]
+    avg60 = sum(ov60) / len(ov60)
+    avg480 = sum(ov480) / len(ov480)
+    print(f"\npaper:    60 DPUs overhead {claims['overhead_min_60']}-"
+          f"{claims['overhead_max_60']} (avg {claims['overhead_avg_60']}); "
+          f"480 DPUs {claims['overhead_min_480']}-"
+          f"{claims['overhead_max_480']} (avg {claims['overhead_avg_480']})")
+    print(f"measured: 60 DPUs overhead {min(ov60):.2f}-{max(ov60):.2f} "
+          f"(avg {avg60:.2f}); 480 DPUs {min(ov480):.2f}-{max(ov480):.2f} "
+          f"(avg {avg480:.2f})")
+
+    # Shape assertions.
+    assert all(r.native.verified and r.vpim.verified for r in runs)
+    assert min(ov60) < 1.25, "some app must virtualize almost for free"
+    assert avg480 > avg60, "overhead must grow with DPU count"
+    assert max(ov480) > max(ov60) or max(ov480) > 2.0
+
+    # Serial-transfer apps scale badly (their serial step is immune to
+    # rank parallelism and pays more per-op setups), in sharp contrast
+    # with the parallel-transfer apps.
+    for app in SERIAL_APPS:
+        t60 = by_key[(app, 60)].native.segments_total
+        t480 = by_key[(app, 480)].native.segments_total
+        assert t480 > 0.75 * t60, f"{app} should not speed up much at 480"
+    va_gain = (by_key[("VA", 60)].native.segments_total
+               / by_key[("VA", 480)].native.segments_total)
+    sel_gain = (by_key[("SEL", 60)].native.segments_total
+                / by_key[("SEL", 480)].native.segments_total)
+    assert va_gain > 1.5 * sel_gain, "VA must scale far better than SEL"
+
+    # RED Inter-DPU pathology grows with DPU count (33x -> 145x in paper).
+    red60 = by_key[("RED", 60)].segment_overhead("Inter-DPU")
+    red480 = by_key[("RED", 480)].segment_overhead("Inter-DPU")
+    assert red60 and red60 > 10
+    assert red480 and red480 > red60
+    print(f"RED Inter-DPU overhead: paper 33.3x/145.5x, "
+          f"measured {red60:.1f}x/{red480:.1f}x")
+
+    bfs = by_key[("BFS", 60)].segment_overhead("Inter-DPU")
+    print(f"BFS Inter-DPU overhead: paper ~3.0x, measured {bfs:.2f}x")
+    assert bfs and 1.5 < bfs < 8.0

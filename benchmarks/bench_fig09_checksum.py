@@ -1,0 +1,47 @@
+"""Fig. 9 — checksum sensitivity analysis.
+
+(a) varying #vCPUs {2,4,8,16}: execution time is vCPU-independent;
+(b) varying #DPUs {1,8,16,60} at 60 MB/DPU: time grows with DPUs;
+(c) varying file size {8,20,40,60} MB at 60 DPUs: overhead falls from
+    2.33x to 1.29x as the fixed message-passing cost amortizes.
+
+Sizes are nominal paper MB scaled by 1/16 (both data and CI-op count,
+preserving the ratios — see Checksum's scale parameter).
+"""
+
+from repro.analysis.figures import fig9_checksum_sensitivity
+from repro.analysis.report import PAPER_CLAIMS, format_table
+
+
+def bench_fig09_checksum_sensitivity(once):
+    sweeps = once(fig9_checksum_sensitivity, scale=16)
+
+    print()
+    for name, xlabel in (("vcpus", "#vCPUs"), ("dpus", "#DPUs"),
+                         ("size", "MB/DPU")):
+        rows = [(p.x, f"{p.native_s:.4f}", f"{p.vpim_s:.4f}",
+                 f"{p.overhead:.2f}x") for p in sweeps[name]]
+        print(format_table([xlabel, "native s", "vPIM s", "overhead"], rows,
+                           title=f"Fig. 9 ({name}) - checksum"))
+        print()
+
+    claims = PAPER_CLAIMS["fig9"]
+    # (a) vCPU independence.
+    vt = [p.vpim_s for p in sweeps["vcpus"]]
+    assert max(vt) / min(vt) < 1.02
+
+    # (b) execution time grows with #DPUs.
+    natives = [p.native_s for p in sweeps["dpus"]]
+    vpims = [p.vpim_s for p in sweeps["dpus"]]
+    assert natives == sorted(natives)
+    assert vpims == sorted(vpims)
+
+    # (c) overhead decreases with size: paper 2.33x -> 1.29x.
+    overheads = [p.overhead for p in sweeps["size"]]
+    print(f"paper:    overhead {claims['overhead_8mb']}x at 8 MB -> "
+          f"{claims['overhead_60mb']}x at 60 MB")
+    print(f"measured: overhead {overheads[0]:.2f}x at 8 MB -> "
+          f"{overheads[-1]:.2f}x at 60 MB")
+    assert overheads == sorted(overheads, reverse=True)
+    assert 1.8 <= overheads[0] <= 3.2
+    assert 1.1 <= overheads[-1] <= 1.7

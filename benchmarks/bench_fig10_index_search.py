@@ -1,0 +1,37 @@
+"""Fig. 10 — Wikipedia Index Search, varying the DPU count.
+
+Paper: 445 requests in 4 batches of 128 over a 63 MB index; execution
+time grows with the DPU count (index distribution), while virtualization
+overhead falls from 2.1x at 1 DPU (compute-dominated, userspace status
+polling pays per-poll round trips) to 1.3x at 128 DPUs.
+"""
+
+from repro.analysis.figures import fig10_index_search
+from repro.analysis.report import PAPER_CLAIMS, format_table
+from repro.workloads.wikipedia import SyntheticCorpus
+
+
+def bench_fig10_index_search(once):
+    corpus = SyntheticCorpus(nr_documents=3000, vocabulary_size=12000, seed=7)
+    points = once(fig10_index_search,
+                  dpu_counts=(1, 8, 16, 60, 128), corpus=corpus)
+
+    rows = [(p.x, f"{p.native_s * 1e3:.1f}", f"{p.vpim_s * 1e3:.1f}",
+             f"{p.overhead:.2f}x") for p in points]
+    print()
+    print(format_table(["#DPUs", "native ms", "vPIM ms", "overhead"], rows,
+                       title="Fig. 10 - Index Search"))
+
+    claims = PAPER_CLAIMS["fig10"]
+    overheads = [p.overhead for p in points]
+    print(f"\npaper:    overhead {claims['overhead_1_dpu']}x at 1 DPU -> "
+          f"{claims['overhead_128_dpus']}x at 128 DPUs")
+    print(f"measured: overhead {overheads[0]:.2f}x -> {overheads[-1]:.2f}x")
+
+    # Time grows with DPU count in both systems.
+    assert points[-1].native_s > points[0].native_s
+    assert points[-1].vpim_s > points[0].vpim_s
+    # Overhead decreases with DPU count, from ~2x to ~1.3x.
+    assert overheads[0] > overheads[-1]
+    assert 1.6 <= overheads[0] <= 2.6
+    assert 1.1 <= overheads[-1] <= 1.6

@@ -1,0 +1,41 @@
+"""Fig. 11 — the C/AVX-512 enhancement vs the Rust/AVX2 data path.
+
+Paper: checksum under vPIM-rust averages ~5.2x over native; vPIM-C
+averages ~1.4x.  Varying (a) the DPU count at 60 MB/DPU and (b) the file
+size at 60 DPUs.
+"""
+
+from repro.analysis.figures import fig11_c_enhancement
+from repro.analysis.report import PAPER_CLAIMS, format_table
+
+
+def bench_fig11_c_enhancement(once):
+    sweeps = once(fig11_c_enhancement, scale=16)
+
+    print()
+    all_points = []
+    for name, xlabel in (("dpus", "#DPUs"), ("size", "MB/DPU")):
+        rows = []
+        for p in sweeps[name]:
+            rust = p.variants["vPIM-rust"]
+            c = p.variants["vPIM-C"]
+            rows.append((p.x, f"{p.native_s:.4f}",
+                         f"{rust:.4f} ({rust / p.native_s:.2f}x)",
+                         f"{c:.4f} ({c / p.native_s:.2f}x)"))
+            all_points.append(p)
+        print(format_table([xlabel, "native s", "vPIM-rust", "vPIM-C"], rows,
+                           title=f"Fig. 11 ({name}) - checksum"))
+        print()
+
+    claims = PAPER_CLAIMS["fig11"]
+    rust_avg = sum(p.variants["vPIM-rust"] / p.native_s
+                   for p in all_points) / len(all_points)
+    c_avg = sum(p.variants["vPIM-C"] / p.native_s
+                for p in all_points) / len(all_points)
+    print(f"paper:    rust avg {claims['rust_avg_overhead']}x, "
+          f"C avg {claims['c_avg_overhead']}x")
+    print(f"measured: rust avg {rust_avg:.2f}x, C avg {c_avg:.2f}x")
+
+    assert rust_avg > 3.0
+    assert c_avg < 2.6
+    assert rust_avg > 2.5 * c_avg

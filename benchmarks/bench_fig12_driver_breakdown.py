@@ -1,0 +1,35 @@
+"""Fig. 12 — driver-centric breakdown: CI, read-from-rank, write-to-rank.
+
+Paper (checksum, 60 DPUs, 16 vCPUs, 8 MB): CI and read-from-rank times
+are similar across the Rust and C implementations; write-to-rank is what
+separates them — it dominates in Rust.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig12_driver_breakdown
+from repro.analysis.report import format_table
+from repro.sdk.profile import OP_CI, OP_READ, OP_WRITE
+
+
+def bench_fig12_driver_breakdown(once):
+    rust, c = once(fig12_driver_breakdown, scale=16)
+
+    rows = []
+    for row in (rust, c):
+        ci_n, ci_t = row.ops.get(OP_CI, (0, 0.0))
+        r_n, r_t = row.ops.get(OP_READ, (0, 0.0))
+        w_n, w_t = row.ops.get(OP_WRITE, (0, 0.0))
+        rows.append((row.mode, f"{ci_t * 1e3:.1f} ({ci_n})",
+                     f"{r_t * 1e3:.2f} ({r_n})",
+                     f"{w_t * 1e3:.1f} ({w_n})"))
+    print()
+    print(format_table(
+        ["mode", "CI ms (ops)", "R-rank ms (ops)", "W-rank ms (ops)"],
+        rows, title="Fig. 12 - driver-centric breakdown (checksum 8 MB)"))
+
+    # CI and R-rank are implementation-independent; W-rank dominates in rust.
+    assert rust.ops[OP_CI][1] == pytest.approx(c.ops[OP_CI][1], rel=0.05)
+    assert rust.ops[OP_READ][1] == pytest.approx(c.ops[OP_READ][1], rel=0.25)
+    assert rust.ops[OP_WRITE][1] > 2 * c.ops[OP_WRITE][1]
+    assert rust.ops[OP_WRITE][1] > rust.ops[OP_READ][1]

@@ -1,0 +1,43 @@
+"""Fig. 13 — write-to-rank step breakdown.
+
+Steps: page management (Page), matrix serialization (Ser), virtio
+interrupt handling (Int), matrix deserialization (Deser), and the data
+transfer to UPMEM (T-data).  Paper: T-data is 98.3% of the write path in
+Rust and 69.3% in C; the other steps are implementation-independent.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig13_wrank_steps
+from repro.analysis.report import PAPER_CLAIMS, format_table
+from repro.sdk.profile import WRANK_STEPS
+
+
+def bench_fig13_wrank_steps(once):
+    rust, c = once(fig13_wrank_steps, scale=16)
+
+    rows = []
+    for row in (rust, c):
+        total = sum(row.wrank_steps.values())
+        cells = [row.mode]
+        for step in WRANK_STEPS:
+            value = row.wrank_steps.get(step, 0.0)
+            cells.append(f"{value * 1e3:.3f} ({value / total:.1%})")
+        rows.append(tuple(cells))
+    print()
+    print(format_table(["mode"] + [f"{s} ms" for s in WRANK_STEPS], rows,
+                       title="Fig. 13 - write-to-rank steps (checksum 8 MB)"))
+
+    claims = PAPER_CLAIMS["fig13"]
+    rust_share = rust.wrank_steps["T-data"] / sum(rust.wrank_steps.values())
+    c_share = c.wrank_steps["T-data"] / sum(c.wrank_steps.values())
+    print(f"\npaper:    T-data share rust {claims['tdata_share_rust']:.1%}, "
+          f"C {claims['tdata_share_c']:.1%}")
+    print(f"measured: T-data share rust {rust_share:.1%}, C {c_share:.1%}")
+
+    assert rust_share > 0.93
+    assert c_share < rust_share
+    # Non-data steps are the same in both implementations.
+    for step in ("Page", "Ser", "Int"):
+        assert rust.wrank_steps[step] == pytest.approx(
+            c.wrank_steps[step], rel=0.05)

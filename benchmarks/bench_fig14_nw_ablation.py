@@ -1,0 +1,65 @@
+"""Fig. 14 — NW under the Prefetch Cache / Request Batching ablation.
+
+Paper (NW, single-rank strong scaling, >15000 transfers of ~109 B):
+
+- the unoptimized vPIM-C is ~53x over native;
+- Prefetch Cache cuts the boundary read time by 89.3% (messages on the
+  read path drop from ~5000 to ~125);
+- Request Batching cuts CPU-DPU and Inter-DPU write time by 95.8% and
+  95.3% (guest-VMM context switches drop from ~10000 to ~402);
+- the combination wins 10.8x over vPIM-C.
+"""
+
+from repro.analysis.figures import fig14_nw_ablation
+from repro.analysis.report import PAPER_CLAIMS, format_table
+
+
+def bench_fig14_nw_ablation(once):
+    rows_data = once(fig14_nw_ablation, profile="bench", nr_dpus=60)
+    by_mode = {r.mode: r for r in rows_data}
+
+    rows = []
+    for r in rows_data:
+        rows.append((r.mode, f"{r.total_s * 1e3:.1f}",
+                     f"{r.segments['CPU-DPU'] * 1e3:.1f}",
+                     f"{r.segments['DPU'] * 1e3:.1f}",
+                     f"{r.segments['Inter-DPU'] * 1e3:.1f}",
+                     r.messages, r.batched, r.cache_hits))
+    print()
+    print(format_table(
+        ["mode", "total ms", "CPU-DPU", "DPU", "Inter-DPU",
+         "messages", "batched", "cache hits"],
+        rows, title="Fig. 14 - NW optimization ablation (60 DPUs)"))
+
+    claims = PAPER_CLAIMS["fig14"]
+    native = by_mode["native"]
+    base = by_mode["vPIM-C"]
+    pb = by_mode["vPIM+PB"]
+
+    naive_overhead = base.total_s / native.total_s
+    combined_speedup = base.total_s / pb.total_s
+    read_cut = 1 - by_mode["vPIM+P"].segments["Inter-DPU"] / base.segments["Inter-DPU"]
+    write_cut = 1 - by_mode["vPIM+B"].segments["CPU-DPU"] / base.segments["CPU-DPU"]
+    msg_cut = base.messages / max(1, pb.messages)
+
+    print(f"\npaper:    naive overhead {claims['naive_overhead']}x; "
+          f"prefetch read cut {claims['prefetch_read_reduction']:.1%}; "
+          f"batching write cut {claims['batching_writes_reduction']:.1%}; "
+          f"combined speedup {claims['combined_speedup']}x; "
+          f"messages {claims['batching_ctx_before']} -> "
+          f"{claims['batching_ctx_after']}")
+    print(f"measured: naive overhead {naive_overhead:.1f}x; "
+          f"prefetch read cut {read_cut:.1%}; "
+          f"batching write cut {write_cut:.1%}; "
+          f"combined speedup {combined_speedup:.1f}x; "
+          f"messages {base.messages} -> {pb.messages}")
+
+    # Shapes: big naive overhead, large per-optimization cuts, the
+    # combination wins the most, messages drop by >= 10x.
+    assert naive_overhead > 3.0
+    assert read_cut > 0.5
+    assert write_cut > 0.8
+    assert combined_speedup > 2.0
+    assert msg_cut > 10
+    assert pb.total_s < by_mode["vPIM+P"].total_s
+    assert pb.total_s < by_mode["vPIM+B"].total_s

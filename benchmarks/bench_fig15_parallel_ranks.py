@@ -1,0 +1,38 @@
+"""Fig. 15 — Parallel Operation Handling on multiple ranks.
+
+Paper (checksum on 2/4/8 ranks): parallel handling yields a 1.13x
+average whole-application speedup that grows with the rank count, and a
+~1.4x average speedup on the write-to-rank operation.
+"""
+
+from repro.analysis.figures import fig15_parallel_ranks
+from repro.analysis.report import PAPER_CLAIMS, format_table
+
+
+def bench_fig15_parallel_ranks(once):
+    points = once(fig15_parallel_ranks, rank_counts=(2, 4, 8),
+                  file_mb=60, scale=64)
+
+    rows = [(p.nr_ranks, f"{p.seq_total:.4f}", f"{p.par_total:.4f}",
+             f"{p.app_speedup:.2f}x", f"{p.seq_write:.4f}",
+             f"{p.par_write:.4f}", f"{p.write_speedup:.2f}x")
+            for p in points]
+    print()
+    print(format_table(
+        ["ranks", "app seq s", "app par s", "app speedup",
+         "write seq s", "write par s", "write speedup"],
+        rows, title="Fig. 15 - parallel operation handling (checksum)"))
+
+    claims = PAPER_CLAIMS["fig15"]
+    app_avg = sum(p.app_speedup for p in points) / len(points)
+    write_avg = sum(p.write_speedup for p in points) / len(points)
+    print(f"\npaper:    app speedup avg {claims['whole_app_speedup_avg']}x, "
+          f"write speedup avg {claims['write_speedup_avg']}x")
+    print(f"measured: app speedup avg {app_avg:.2f}x, "
+          f"write speedup avg {write_avg:.2f}x")
+
+    speedups = [p.app_speedup for p in points]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups == sorted(speedups), "speedup grows with rank count"
+    for p in points:
+        assert 1.0 < p.write_speedup < p.nr_ranks  # contention caps the win

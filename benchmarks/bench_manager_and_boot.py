@@ -1,0 +1,73 @@
+"""Section 3.2 / 4.2 — vUPMEM boot cost and Manager overheads.
+
+Paper numbers: adding a vUPMEM device costs <= 2 ms of boot time; a
+dpu_alloc-triggered NAAV allocation averages 36 ms; a rank reset takes
+~597 ms; the idle manager consumes ~40% of a core and up to 92% while
+resetting ranks.
+"""
+
+import pytest
+
+from repro.analysis.figures import machine_config
+from repro.analysis.report import PAPER_CLAIMS, format_table
+from repro.core import VPim
+from repro.virt.firecracker import BASE_BOOT_TIME, VmConfig
+
+
+def bench_boot_and_manager_overheads(once):
+    def experiment():
+        vpim = VPim(machine_config(4))
+        clock = vpim.machine.clock
+
+        # Boot cost per vUPMEM device.
+        t0 = clock.now
+        vm0 = vpim.firecracker.launch_vm(VmConfig(nr_vupmem=0,
+                                                  mem_bytes=1 << 30))
+        boot_plain = clock.now - t0
+        t0 = clock.now
+        vm4 = vpim.firecracker.launch_vm(VmConfig(nr_vupmem=4,
+                                                  mem_bytes=1 << 30))
+        boot_devices = clock.now - t0
+        per_device = (boot_devices - boot_plain) / 4
+
+        # Allocation cost (NAAV path).
+        t0 = clock.now
+        rank = vpim.manager.allocate(vm4.devices[0].device_id)
+        alloc_cost = clock.now - t0
+
+        # Release -> reset cycle.
+        vm4.devices[0].backend.link_rank(rank)
+        vm4.devices[0].backend.unlink()
+        record = vpim.manager.rank_table[rank]
+        reset_cost = record.reset_done_at - clock.now
+
+        return {
+            "per_device_boot": per_device,
+            "alloc": alloc_cost,
+            "reset": reset_cost,
+            "idle_cpu": vpim.manager.idle_cpu_utilization(),
+            "reset_cpu": vpim.manager.reset_cpu_utilization(1),
+        }
+
+    m = once(experiment)
+    claims_mgr = PAPER_CLAIMS["manager"]
+    claims_boot = PAPER_CLAIMS["boot"]
+    rows = [
+        ("vUPMEM boot / device", f"<= {claims_boot['vupmem_boot_ms_max']} ms",
+         f"{m['per_device_boot'] * 1e3:.2f} ms"),
+        ("rank allocation", f"{claims_mgr['alloc_ms']} ms",
+         f"{m['alloc'] * 1e3:.1f} ms"),
+        ("rank reset", f"{claims_mgr['reset_ms']} ms",
+         f"{m['reset'] * 1e3:.1f} ms"),
+        ("idle manager CPU", f"{claims_mgr['idle_cpu']:.0%}",
+         f"{m['idle_cpu']:.0%}"),
+        ("resetting manager CPU", f"{claims_mgr['reset_cpu']:.0%}",
+         f"{m['reset_cpu']:.0%}"),
+    ]
+    print()
+    print(format_table(["quantity", "paper", "measured"], rows,
+                       title="Manager and boot overheads"))
+
+    assert m["per_device_boot"] <= 2e-3 + 1e-9
+    assert m["alloc"] == pytest.approx(36e-3, rel=0.05)
+    assert m["reset"] == pytest.approx(0.597, rel=0.2)

@@ -1,0 +1,53 @@
+"""Weak scaling: constant work per DPU while the DPU count grows.
+
+The paper evaluates PrIM's *strong*-scaling configuration (fixed total
+workload); PrIM also defines weak scaling, which isolates the per-DPU
+virtualization costs: with the per-DPU slice fixed, a perfectly scaling
+system keeps execution time flat as ranks are added, and any growth is
+pure coordination overhead (more rank operations, more messages, bus
+contention).
+"""
+
+from repro.analysis.figures import machine_for_dpus
+from repro.analysis.report import format_table
+from repro.apps.prim.va import VectorAdd
+from repro.core import VPim
+
+ELEMENTS_PER_DPU = 1 << 15
+
+
+def bench_weak_scaling_va(once):
+    def experiment():
+        rows = []
+        for nr_dpus in (60, 120, 240, 480):
+            cfg = machine_for_dpus(nr_dpus)
+            total = ELEMENTS_PER_DPU * nr_dpus
+            native = VPim(cfg).native_session().run(
+                VectorAdd(nr_dpus=nr_dpus, n_elements=total))
+            virt = VPim(cfg).vm_session(nr_vupmem=cfg.nr_ranks).run(
+                VectorAdd(nr_dpus=nr_dpus, n_elements=total))
+            assert native.verified and virt.verified
+            rows.append((nr_dpus, native.segments_total,
+                         virt.segments_total))
+        return rows
+
+    results = once(experiment)
+    table = [(n, f"{nat * 1e3:.1f}", f"{vr * 1e3:.1f}", f"{vr / nat:.2f}x")
+             for n, nat, vr in results]
+    print()
+    print(format_table(["#DPUs", "native ms", "vPIM ms", "overhead"], table,
+                       title=f"Weak scaling - VA, {ELEMENTS_PER_DPU} "
+                             "elements per DPU"))
+
+    natives = [nat for _, nat, _ in results]
+    overheads = [vr / nat for _, nat, vr in results]
+    # DPU compute is constant per DPU; total time may grow with rank
+    # count (transfers share the host bus) but must stay within the
+    # contention envelope, far from linear scaling.
+    assert natives[-1] < natives[0] * 8 / 2, \
+        "weak scaling degenerated to serial behaviour"
+    # Virtualization overhead grows with the rank count (more devices,
+    # more per-request costs, VMM contention) — the Fig. 8 trend.
+    assert overheads[-1] >= overheads[0] * 0.9
+    print(f"\noverhead trend 60->480 DPUs: "
+          f"{overheads[0]:.2f}x -> {overheads[-1]:.2f}x")

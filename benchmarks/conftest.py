@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation and prints the measured series next to the paper's reported
+values.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Simulated time is the reproduced metric; pytest-benchmark's wall-clock
+numbers measure the harness itself (how long the simulator takes), which
+is useful for regression tracking but is *not* what the paper plots.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return runner

@@ -1,0 +1,87 @@
+"""Reporting helpers and the paper's reference numbers.
+
+``PAPER_CLAIMS`` collects the quantitative claims of Section 5 so that
+benchmark output (and EXPERIMENTS.md) can show paper-vs-measured side by
+side.  Shape assertions live in ``tests/analysis/test_paper_shapes.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Quantitative claims from the paper's evaluation, keyed by experiment.
+PAPER_CLAIMS: Dict[str, Dict[str, object]] = {
+    "fig8": {
+        "overhead_min_60": 1.01,    # BS
+        "overhead_max_60": 2.07,    # NW
+        "overhead_avg_60": 1.24,
+        "overhead_min_480": 1.02,   # MLP
+        "overhead_max_480": 2.89,   # TRNS
+        "overhead_avg_480": 1.54,
+        "red_interdpu_overhead_60": 33.3,
+        "red_interdpu_overhead_480": 145.5,
+        "bfs_interdpu_overhead_60": 3.0,
+        "bfs_interdpu_overhead_480": 3.2,
+        "serial_transfer_apps": ["SEL", "UNI", "SpMV", "BFS"],
+    },
+    "fig9": {
+        "overhead_8mb": 2.33,
+        "overhead_60mb": 1.29,
+        "vcpu_independent": True,
+    },
+    "fig10": {
+        "overhead_1_dpu": 2.1,
+        "overhead_128_dpus": 1.3,
+    },
+    "fig11": {
+        "rust_avg_overhead": 5.2,
+        "c_avg_overhead": 1.4,
+        "c_improvement_pct": 343,
+    },
+    "fig13": {
+        "tdata_share_rust": 0.983,
+        "tdata_share_c": 0.693,
+    },
+    "fig14": {
+        "naive_overhead": 53.0,
+        "prefetch_read_reduction": 0.893,
+        "prefetch_msgs_before": 5000,
+        "prefetch_msgs_after": 125,
+        "batching_writes_reduction": 0.958,
+        "batching_interdpu_reduction": 0.953,
+        "batching_ctx_before": 10000,
+        "batching_ctx_after": 402,
+        "combined_speedup": 10.8,
+    },
+    "fig15": {
+        "whole_app_speedup_avg": 1.13,
+        "write_speedup_avg": 1.4,
+    },
+    "manager": {
+        "alloc_ms": 36.0,
+        "reset_ms": 597.0,
+        "idle_cpu": 0.40,
+        "reset_cpu": 0.92,
+    },
+    "boot": {"vupmem_boot_ms_max": 2.0},
+    "frontend": {"memory_overhead_mb_per_dpu": 1.37},
+    "checksum": {"ci_ops_min": 8000, "ci_ops_max": 28000},
+}
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table (benchmark harness output)."""
+    cols = len(headers)
+    str_rows = [[f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+                for row in rows]
+    widths = [max(len(headers[c]), *(len(r[c]) for r in str_rows))
+              if str_rows else len(headers[c]) for c in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(cols)))
+    return "\n".join(lines)

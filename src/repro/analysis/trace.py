@@ -1,0 +1,79 @@
+"""Execution tracing: a timeline of rank operations and segments.
+
+A :class:`Tracer` attached to a profiler records every driver-centric
+operation and every application segment as a timed event on the
+simulated clock, and exports the Chrome trace-event JSON format, so a
+run can be inspected in ``chrome://tracing`` / Perfetto — the kind of
+observability a production virtualization layer ships with.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One complete ('X') event on the timeline."""
+
+    name: str
+    category: str
+    start: float            #: simulated seconds
+    duration: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self.start * 1e6,       # Chrome wants microseconds
+            "dur": self.duration * 1e6,
+            "pid": 1,
+            "tid": {"segment": 1, "op": 2}.get(self.category, 3),
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """Collects trace events; attach via ``profiler.tracer = Tracer()``."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(self, name: str, category: str, start: float,
+               duration: float, **args: object) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(name=name, category=category,
+                                      start=start, duration=duration,
+                                      args=dict(args)))
+
+    # -- queries ------------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def total_time(self, name: Optional[str] = None) -> float:
+        return sum(e.duration for e in self.events
+                   if name is None or e.name == name)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Serialize to the Chrome trace-event JSON format."""
+        payload = {
+            "traceEvents": [e.to_chrome() for e in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_events": self.dropped},
+        }
+        return json.dumps(payload)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_chrome_trace())

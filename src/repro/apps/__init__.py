@@ -1,0 +1,13 @@
+"""Applications: the 16 PrIM benchmarks plus the two UPMEM microbenchmarks.
+
+Each application module contains the DPU program(s), the host program
+(written against the transport-agnostic SDK), and a CPU reference used
+to verify that DPU-computed results are correct — the paper's first
+evaluation claim ("the DPU computed results match accurately with those
+computed on CPUs").
+"""
+
+from repro.apps.base import HostApplication
+from repro.apps.registry import ALL_APPS, PRIM_APPS, app_by_short_name
+
+__all__ = ["HostApplication", "ALL_APPS", "PRIM_APPS", "app_by_short_name"]

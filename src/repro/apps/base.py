@@ -1,0 +1,66 @@
+"""Host application base class.
+
+Applications follow the paper's timing discipline: every host step is
+wrapped in one of the four application-centric segments,
+
+- ``CPU-DPU``   input data transfer to the DPUs,
+- ``DPU``       DPU program execution,
+- ``Inter-DPU`` synchronization between DPUs via the host CPU,
+- ``DPU-CPU``   result retrieval,
+
+so reports decompose exactly like Fig. 8.  Host-side data *generation*
+(building inputs, CPU references) happens in ``__init__`` and is not
+timed — it is identical under native and virtualized execution.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.sdk.transport import Transport
+
+
+class HostApplication(abc.ABC):
+    """One benchmark application."""
+
+    #: Long name, e.g. "Vector Addition".
+    name: str = ""
+    #: PrIM short name, e.g. "VA".
+    short_name: str = ""
+    #: Domain per Table 1, e.g. "Dense linear algebra".
+    domain: str = ""
+
+    def __init__(self, nr_dpus: int, **params: Any) -> None:
+        if nr_dpus <= 0:
+            raise ValueError(f"nr_dpus must be positive, got {nr_dpus}")
+        self.nr_dpus = nr_dpus
+        self.params: Dict[str, Any] = dict(params, nr_dpus=nr_dpus)
+
+    @abc.abstractmethod
+    def run(self, transport: Transport) -> Any:
+        """Execute on DPUs through ``transport``; returns the output."""
+
+    @abc.abstractmethod
+    def expected(self) -> Any:
+        """CPU reference result for the generated workload."""
+
+    def verify(self, output: Any) -> bool:
+        """Compare DPU output against the CPU reference (exact by default)."""
+        expected = self.expected()
+        if isinstance(expected, np.ndarray):
+            return bool(np.array_equal(np.asarray(output), expected))
+        return bool(output == expected)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def split_even(total: int, parts: int) -> list:
+        """Split ``total`` items into ``parts`` near-equal contiguous counts."""
+        base, rem = divmod(total, parts)
+        return [base + (1 if i < rem else 0) for i in range(parts)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(nr_dpus={self.nr_dpus})"

@@ -1,0 +1,6 @@
+"""The two UPMEM microbenchmarks of Section 5.3."""
+
+from repro.apps.micro.checksum import Checksum
+from repro.apps.micro.index_search import IndexSearch
+
+__all__ = ["Checksum", "IndexSearch"]

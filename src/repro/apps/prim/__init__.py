@@ -1,0 +1,32 @@
+"""The 16 PrIM benchmark applications (Table 1), reimplemented on the SDK.
+
+Each module exposes one :class:`~repro.apps.base.HostApplication`
+subclass with the same transfer pattern as the PrIM original — including
+the patterns the paper calls out: the serial per-DPU transfers of
+SEL/UNI/SpMV/BFS, the tiny-transfer storms of NW/TRNS, and the small
+result reads of RED/HST/SCAN that trip the prefetch cache.
+"""
+
+from repro.apps.prim.va import VectorAdd
+from repro.apps.prim.gemv import Gemv
+from repro.apps.prim.spmv import SpMV
+from repro.apps.prim.sel import Select
+from repro.apps.prim.uni import Unique
+from repro.apps.prim.bs import BinarySearch
+from repro.apps.prim.ts import TimeSeries
+from repro.apps.prim.bfs import BreadthFirstSearch
+from repro.apps.prim.mlp import MultilayerPerceptron
+from repro.apps.prim.nw import NeedlemanWunsch
+from repro.apps.prim.hst_s import HistogramShort
+from repro.apps.prim.hst_l import HistogramLong
+from repro.apps.prim.red import Reduction
+from repro.apps.prim.scan_ssa import ScanSsa
+from repro.apps.prim.scan_rss import ScanRss
+from repro.apps.prim.trns import Transpose
+
+__all__ = [
+    "VectorAdd", "Gemv", "SpMV", "Select", "Unique", "BinarySearch",
+    "TimeSeries", "BreadthFirstSearch", "MultilayerPerceptron",
+    "NeedlemanWunsch", "HistogramShort", "HistogramLong", "Reduction",
+    "ScanSsa", "ScanRss", "Transpose",
+]

@@ -1,0 +1,96 @@
+"""HST-S — Image histogram, short (image processing).
+
+The "short" variant keeps one shared histogram per DPU with atomic
+updates.  Each DPU histograms its pixel slice; the host merges per-DPU
+histograms in the DPU-CPU step — a small read (256 bins x 4 B) that, in
+vPIM, trips the prefetch cache into fetching a full segment per DPU
+(the Fig. 8 DPU-CPU overhead the paper discusses for HST-S/HST-L).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import HostApplication
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.kernel import DpuProgram, TaskletContext, tasklet_range
+from repro.sdk.transport import Transport
+from repro.workloads.generators import random_image
+
+#: Instructions per pixel (load, shift, atomic increment).
+INSTR_PER_PIXEL = 6
+
+
+class HstSProgram(DpuProgram):
+    """DPU side: shared 256-bin histogram with atomic adds."""
+
+    name = "hst_s_dpu"
+    symbols = {"n_pixels": 4, "hist_offset": 4, "n_bins": 4}
+    nr_tasklets = 16
+    binary_size = 6 * 1024
+
+    def kernel(self, ctx: TaskletContext):
+        if ctx.me() == 0:
+            ctx.mem_reset()
+            ctx.shared["hist"] = np.zeros(ctx.host_u32("n_bins"),
+                                          dtype=np.int64)
+        yield ctx.barrier()
+        n = ctx.host_u32("n_pixels")
+        n_bins = ctx.host_u32("n_bins")
+        rng = tasklet_range(ctx, n)
+        if len(rng):
+            ctx.mem_alloc(2048)
+            pixels = ctx.mram_read_blocks(rng.start * 2,
+                                          len(rng) * 2).view(np.uint16)
+            ctx.shared["hist"] += np.bincount(
+                np.minimum(pixels, n_bins - 1), minlength=n_bins)
+            ctx.charge_loop(len(rng), INSTR_PER_PIXEL)
+        yield ctx.barrier()
+        if ctx.me() == 0:
+            hist = ctx.shared["hist"].astype(np.uint32)
+            ctx.mram_write_blocks(ctx.host_u32("hist_offset"), hist)
+            ctx.charge(hist.size * 2)
+
+
+class HistogramShort(HostApplication):
+    """Host side of HST-S."""
+
+    name = "Image histogram (short)"
+    short_name = "HST-S"
+    domain = "Image processing"
+
+    N_BINS = 256
+
+    def __init__(self, nr_dpus: int, n_pixels: int = 1 << 20,
+                 seed: int = 0) -> None:
+        super().__init__(nr_dpus, n_pixels=n_pixels, seed=seed)
+        self.pixels = random_image(n_pixels, depth=self.N_BINS, seed=seed)
+
+    def expected(self) -> np.ndarray:
+        return np.bincount(self.pixels,
+                           minlength=self.N_BINS).astype(np.uint32)
+
+    def run(self, transport: Transport) -> np.ndarray:
+        profiler = transport.profiler
+        counts = self.split_even(self.pixels.size, self.nr_dpus)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        hist_off = ((max(counts) * 2 + 7) // 8) * 8
+        with DpuSet(transport, self.nr_dpus) as dpus:
+            dpus.load(HstSProgram())
+            with profiler.segment("CPU-DPU"):
+                dpus.push_to("n_pixels", 0,
+                             [np.array([c], np.uint32) for c in counts])
+                dpus.broadcast_to("n_bins", 0,
+                                  np.array([self.N_BINS], np.uint32))
+                dpus.broadcast_to("hist_offset", 0,
+                                  np.array([hist_off], np.uint32))
+                dpus.push_to_mram(0, [self.pixels[bounds[i]:bounds[i + 1]]
+                                      for i in range(self.nr_dpus)])
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("DPU-CPU"):
+                partials = dpus.push_from_mram(hist_off, self.N_BINS * 4)
+        total = np.zeros(self.N_BINS, dtype=np.uint64)
+        for buf in partials:
+            total += buf.view(np.uint32).astype(np.uint64)
+        return total.astype(np.uint32)

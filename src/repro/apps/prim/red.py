@@ -1,0 +1,88 @@
+"""RED — Reduction (parallel primitives).
+
+Each DPU reduces its slice; per-tasklet partials are combined at a
+barrier and the per-DPU sum is written to MRAM.  The Inter-DPU step is a
+single tiny read-from-rank (8 bytes per DPU — the paper's "256 bytes")
+that the host sums.  Under vPIM that small read triggers the prefetch
+cache, which fetches a full cache segment per DPU and produces the
+33x-145x Inter-DPU overhead called out in Section 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import HostApplication
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.kernel import DpuProgram, TaskletContext, tasklet_range
+from repro.sdk.transport import Transport
+from repro.workloads.generators import random_array
+
+#: Instructions per reduced element (load, add, loop).
+INSTR_PER_ELEM = 3
+
+
+class RedProgram(DpuProgram):
+    """DPU side: sum this DPU's slice into MRAM[result_offset]."""
+
+    name = "red_dpu"
+    symbols = {"n_elems": 4, "result_offset": 4}
+    nr_tasklets = 16
+    binary_size = 5 * 1024
+
+    def kernel(self, ctx: TaskletContext):
+        if ctx.me() == 0:
+            ctx.mem_reset()
+            ctx.shared["partials"] = [0] * ctx.nr_tasklets
+        yield ctx.barrier()
+        n = ctx.host_u32("n_elems")
+        rng = tasklet_range(ctx, n)
+        if len(rng):
+            ctx.mem_alloc(2048)
+            data = ctx.mram_read_blocks(rng.start * 4,
+                                        len(rng) * 4).view(np.int32)
+            ctx.shared["partials"][ctx.me()] = int(data.astype(np.int64).sum())
+            ctx.charge_loop(len(rng), INSTR_PER_ELEM)
+        yield ctx.barrier()
+        if ctx.me() == 0:
+            total = sum(ctx.shared["partials"])
+            ctx.mram_write(ctx.host_u32("result_offset"),
+                           np.array([total], dtype=np.int64))
+            ctx.charge(ctx.nr_tasklets * 2)
+
+
+class Reduction(HostApplication):
+    """Host side of RED."""
+
+    name = "Reduction"
+    short_name = "RED"
+    domain = "Parallel primitives"
+
+    def __init__(self, nr_dpus: int, n_elements: int = 1 << 20,
+                 seed: int = 0) -> None:
+        super().__init__(nr_dpus, n_elements=n_elements, seed=seed)
+        self.data = random_array(n_elements, np.int32, seed=seed)
+
+    def expected(self) -> int:
+        return int(self.data.astype(np.int64).sum())
+
+    def run(self, transport: Transport) -> int:
+        profiler = transport.profiler
+        counts = self.split_even(self.data.size, self.nr_dpus)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        result_off = max(counts) * 4
+        with DpuSet(transport, self.nr_dpus) as dpus:
+            dpus.load(RedProgram())
+            with profiler.segment("CPU-DPU"):
+                dpus.push_to("n_elems", 0,
+                             [np.array([c], np.uint32) for c in counts])
+                dpus.broadcast_to("result_offset", 0,
+                                  np.array([result_off], np.uint32))
+                dpus.push_to_mram(0, [self.data[bounds[i]:bounds[i + 1]]
+                                      for i in range(self.nr_dpus)])
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("Inter-DPU"):
+                # The paper's pathological step: one small read per run.
+                partials = dpus.push_from_mram(result_off, 8)
+        return int(sum(int(p.view(np.int64)[0]) for p in partials))

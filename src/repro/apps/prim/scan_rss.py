@@ -1,0 +1,129 @@
+"""SCAN-RSS — Prefix sum, reduce-scan-scan variant (parallel primitives).
+
+Phase 1 (DPU): each DPU only *reduces* its slice (cheaper than scanning).
+Inter-DPU (host): read per-DPU sums, exclusive-scan, write base offsets.
+Phase 2 (DPU): full local scan plus the base offset in one pass.
+DPU-CPU: read the scanned slices.
+
+Compared to SCAN-SSA this trades a second elementwise pass for a
+cheaper first one; both share the small-transfer Inter-DPU step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import HostApplication
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.kernel import DpuProgram, TaskletContext, tasklet_range
+from repro.sdk.transport import Transport
+from repro.workloads.generators import random_array
+
+#: Instructions per element in the reduce phase.
+INSTR_PER_REDUCE = 3
+#: Instructions per element in the scan+add phase.
+INSTR_PER_SCAN_ADD = 5
+
+
+class ScanRssProgram(DpuProgram):
+    """DPU side: phase 0 = reduce, phase 1 = scan + base offset."""
+
+    name = "scan_rss_dpu"
+    symbols = {"n_elems": 4, "out_offset": 4, "sum_offset": 4,
+               "phase": 4, "base": 8}
+    nr_tasklets = 16
+    binary_size = 8 * 1024
+
+    def kernel(self, ctx: TaskletContext):
+        if ctx.me() == 0:
+            ctx.mem_reset()
+            ctx.shared["tsums"] = [0] * ctx.nr_tasklets
+        yield ctx.barrier()
+        n = ctx.host_u32("n_elems")
+        out_off = ctx.host_u32("out_offset")
+        phase = ctx.host_u32("phase")
+        rng = tasklet_range(ctx, n)
+        ctx.mem_alloc(2 * 1024)
+
+        if phase == 0:
+            if len(rng):
+                data = ctx.mram_read_blocks(rng.start * 4,
+                                            len(rng) * 4).view(np.int32)
+                ctx.shared["tsums"][ctx.me()] = int(
+                    data.astype(np.int64).sum())
+                ctx.charge_loop(len(rng), INSTR_PER_REDUCE)
+            yield ctx.barrier()
+            if ctx.me() == 0:
+                total = sum(ctx.shared["tsums"])
+                ctx.mram_write(ctx.host_u32("sum_offset"),
+                               np.array([total], dtype=np.int64))
+        else:
+            if len(rng):
+                data = ctx.mram_read_blocks(rng.start * 4,
+                                            len(rng) * 4).view(np.int32)
+                local = np.cumsum(data.astype(np.int64))
+                ctx.shared["tsums"][ctx.me()] = int(local[-1])
+                ctx.shared[f"scan{ctx.me()}"] = local
+                ctx.charge_loop(len(rng), INSTR_PER_SCAN_ADD)
+            yield ctx.barrier()
+            if len(rng):
+                base = ctx.host_i64("base")
+                prior = sum(ctx.shared["tsums"][:ctx.me()])
+                scanned = ctx.shared[f"scan{ctx.me()}"] + prior + base
+                ctx.mram_write_blocks(out_off + rng.start * 8,
+                                      scanned.astype(np.int64))
+                ctx.charge_loop(len(rng), 1)
+
+
+class ScanRss(HostApplication):
+    """Host side of SCAN-RSS."""
+
+    name = "Prefix sum (reduce-scan-scan)"
+    short_name = "SCAN-RSS"
+    domain = "Parallel primitives"
+
+    def __init__(self, nr_dpus: int, n_elements: int = 1 << 19,
+                 seed: int = 0) -> None:
+        super().__init__(nr_dpus, n_elements=n_elements, seed=seed)
+        self.data = random_array(n_elements, np.int32, lo=0, hi=64, seed=seed)
+
+    def expected(self) -> np.ndarray:
+        return np.cumsum(self.data.astype(np.int64))
+
+    def run(self, transport: Transport) -> np.ndarray:
+        profiler = transport.profiler
+        counts = self.split_even(self.data.size, self.nr_dpus)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        out_off = max(counts) * 4
+        sum_off = out_off + max(counts) * 8
+        out = np.empty(self.data.size, dtype=np.int64)
+        with DpuSet(transport, self.nr_dpus) as dpus:
+            dpus.load(ScanRssProgram())
+            with profiler.segment("CPU-DPU"):
+                dpus.push_to("n_elems", 0,
+                             [np.array([c], np.uint32) for c in counts])
+                dpus.broadcast_to("out_offset", 0,
+                                  np.array([out_off], np.uint32))
+                dpus.broadcast_to("sum_offset", 0,
+                                  np.array([sum_off], np.uint32))
+                dpus.broadcast_to("phase", 0, np.array([0], np.uint32))
+                dpus.push_to_mram(0, [self.data[bounds[i]:bounds[i + 1]]
+                                      for i in range(self.nr_dpus)])
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("Inter-DPU"):
+                sums = dpus.push_from_mram(sum_off, 8)
+                totals = np.array([int(s.view(np.int64)[0]) for s in sums],
+                                  dtype=np.int64)
+                bases = np.concatenate([[0], np.cumsum(totals)[:-1]])
+                dpus.push_to("base", 0,
+                             [np.array([b], np.int64) for b in bases])
+                dpus.broadcast_to("phase", 0, np.array([1], np.uint32))
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("DPU-CPU"):
+                for i, buf in enumerate(
+                        dpus.push_from_mram(out_off, max(counts) * 8)):
+                    out[bounds[i]:bounds[i + 1]] = (
+                        buf[:counts[i] * 8].view(np.int64))
+        return out

@@ -1,0 +1,135 @@
+"""SpMV — Sparse Matrix-Vector Multiply (sparse linear algebra).
+
+Rows are partitioned across DPUs.  The PrIM implementation transfers the
+CSR pieces *serially*, one DPU at a time (row pointers, column indices,
+values, and the dense vector each via ``dpu_copy_to``) — the CPU-DPU
+pattern that makes SpMV's input step grow with the DPU count, in native
+and virtualized runs alike (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import HostApplication
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.kernel import DpuProgram, TaskletContext, tasklet_range
+from repro.sdk.transport import Transport
+from repro.workloads.generators import CsrMatrix, random_csr, random_array
+
+#: Instructions per non-zero (load idx, load val, load x, mul, add).
+INSTR_PER_NNZ = 5
+
+
+class SpmvProgram(DpuProgram):
+    """DPU side: y = A_slice @ x over this DPU's rows."""
+
+    name = "spmv_dpu"
+    #: args = [n_rows, nnz, n_cols, col_off, val_off, x_off, y_off], one
+    #: transfer per DPU — the DPU_INPUT_ARGUMENTS struct of the PrIM code.
+    symbols = {"args": 28}
+    nr_tasklets = 16
+    binary_size = 9 * 1024
+
+    def kernel(self, ctx: TaskletContext):
+        if ctx.me() == 0:
+            ctx.mem_reset()
+        yield ctx.barrier()
+        n_rows = ctx.host_u32("args", 0)
+        nnz = ctx.host_u32("args", 1)
+        n_cols = ctx.host_u32("args", 2)
+        col_off = ctx.host_u32("args", 3)
+        val_off = ctx.host_u32("args", 4)
+        x_off = ctx.host_u32("args", 5)
+        y_off = ctx.host_u32("args", 6)
+        rows = tasklet_range(ctx, n_rows)
+        if len(rows) == 0:
+            return
+        ctx.mem_alloc(4 * 768)
+        row_ptr = ctx.mram_read_blocks(0, (n_rows + 1) * 4).view(np.int32)
+        s, e = int(row_ptr[rows.start]), int(row_ptr[rows.stop])
+        if e > s:
+            cols = ctx.mram_read_blocks(col_off + s * 4,
+                                        (e - s) * 4).view(np.int32)
+            vals = ctx.mram_read_blocks(val_off + s * 4,
+                                        (e - s) * 4).view(np.int32)
+        else:
+            cols = np.empty(0, dtype=np.int32)
+            vals = np.empty(0, dtype=np.int32)
+        x = ctx.mram_read_blocks(x_off, n_cols * 4).view(np.int32)
+        y = np.zeros(len(rows), dtype=np.int64)
+        for j, r in enumerate(rows):
+            rs, re = int(row_ptr[r]) - s, int(row_ptr[r + 1]) - s
+            if re > rs:
+                y[j] = (vals[rs:re].astype(np.int64)
+                        * x[cols[rs:re]].astype(np.int64)).sum()
+        ctx.mram_write_blocks(y_off + rows.start * 8, y)
+        ctx.charge_loop(max(0, e - s), INSTR_PER_NNZ)
+        del nnz  # symbol kept for layout parity with the PrIM kernel
+
+
+class SpMV(HostApplication):
+    """Host side of SpMV."""
+
+    name = "Sparse Matrix-Vector Multiply"
+    short_name = "SpMV"
+    domain = "Sparse linear algebra"
+
+    def __init__(self, nr_dpus: int, n_rows: int = 4096, n_cols: int = 2048,
+                 nnz_per_row: int = 8, seed: int = 0) -> None:
+        super().__init__(nr_dpus, n_rows=n_rows, n_cols=n_cols,
+                         nnz_per_row=nnz_per_row, seed=seed)
+        self.csr: CsrMatrix = random_csr(n_rows, n_cols, nnz_per_row, seed)
+        self.x = random_array(n_cols, np.int32, lo=0, hi=16, seed=seed + 1)
+
+    def expected(self) -> np.ndarray:
+        out = np.zeros(self.csr.nr_rows, dtype=np.int64)
+        for r in range(self.csr.nr_rows):
+            s, e = int(self.csr.row_ptr[r]), int(self.csr.row_ptr[r + 1])
+            out[r] = (self.csr.values[s:e].astype(np.int64)
+                      * self.x[self.csr.col_idx[s:e]].astype(np.int64)).sum()
+        return out
+
+    def run(self, transport: Transport) -> np.ndarray:
+        profiler = transport.profiler
+        counts = self.split_even(self.csr.nr_rows, self.nr_dpus)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        out = np.empty(self.csr.nr_rows, dtype=np.int64)
+
+        # Per-DPU MRAM layout computed from the largest slice.
+        max_rows = max(counts)
+        max_nnz = max(
+            int(self.csr.row_ptr[bounds[i + 1]] - self.csr.row_ptr[bounds[i]])
+            for i in range(self.nr_dpus)
+        )
+        col_off = (max_rows + 1) * 4
+        val_off = col_off + max_nnz * 4
+        x_off = val_off + max_nnz * 4
+        y_off = x_off + self.csr.nr_cols * 4
+
+        with DpuSet(transport, self.nr_dpus) as dpus:
+            dpus.load(SpmvProgram())
+            with profiler.segment("CPU-DPU"):
+                # Serial per-DPU transfers, as in the PrIM implementation.
+                for i in range(self.nr_dpus):
+                    lo, hi = bounds[i], bounds[i + 1]
+                    s = int(self.csr.row_ptr[lo])
+                    e = int(self.csr.row_ptr[hi])
+                    local_ptr = (self.csr.row_ptr[lo:hi + 1] - s).astype(np.int32)
+                    args = np.array([hi - lo, e - s, self.csr.nr_cols,
+                                     col_off, val_off, x_off, y_off],
+                                    np.uint32)
+                    dpus.copy_to(i, "args", 0, args)
+                    dpus.copy_to_mram(i, 0, local_ptr)
+                    if e > s:
+                        dpus.copy_to_mram(i, col_off, self.csr.col_idx[s:e])
+                        dpus.copy_to_mram(i, val_off, self.csr.values[s:e])
+                    dpus.copy_to_mram(i, x_off, self.x)
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("DPU-CPU"):
+                for i, buf in enumerate(
+                        dpus.push_from_mram(y_off, max_rows * 8)):
+                    out[bounds[i]:bounds[i + 1]] = (
+                        buf[:counts[i] * 8].view(np.int64))
+        return out

@@ -1,0 +1,132 @@
+"""TS — Time Series Analysis (subsequence similarity search).
+
+Each DPU receives a chunk of the series (with a query-length-minus-one
+overlap so no window is lost at chunk boundaries) plus the query, and
+finds the window of its chunk with the minimum sum-of-squared-differences
+distance to the query.  The host reduces the per-DPU minima.  Like BS,
+TS is heavily DPU-compute bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import HostApplication
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.kernel import DpuProgram, TaskletContext, tasklet_range
+from repro.sdk.transport import Transport
+from repro.workloads.generators import random_array
+
+#: Instructions per (window element) comparison: load, sub, mul, add.
+INSTR_PER_POINT = 4
+
+
+def _ssd_profile(chunk: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Sum of squared differences of every window of ``chunk`` vs ``query``."""
+    m = query.size
+    n_windows = chunk.size - m + 1
+    if n_windows <= 0:
+        return np.empty(0, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(chunk, m)
+    diff = windows.astype(np.int64) - query.astype(np.int64)
+    return (diff * diff).sum(axis=1)
+
+
+class TsProgram(DpuProgram):
+    """DPU side: minimum-SSD window of this DPU's chunk."""
+
+    name = "ts_dpu"
+    symbols = {"n_points": 4, "m": 4, "q_offset": 4,
+               "best_dist": 8, "best_index": 8}
+    nr_tasklets = 16
+    binary_size = 9 * 1024
+
+    def kernel(self, ctx: TaskletContext):
+        if ctx.me() == 0:
+            ctx.mem_reset()
+            ctx.shared["best"] = [(np.iinfo(np.int64).max, -1)] * ctx.nr_tasklets
+        yield ctx.barrier()
+        n = ctx.host_u32("n_points")
+        m = ctx.host_u32("m")
+        q_off = ctx.host_u32("q_offset")
+        n_windows = max(0, n - m + 1)
+        rng = tasklet_range(ctx, n_windows)
+        if len(rng):
+            ctx.mem_alloc(3 * 1024)
+            query = ctx.mram_read_blocks(q_off, m * 4).view(np.int32)
+            span = ctx.mram_read_blocks(rng.start * 4,
+                                        (len(rng) + m - 1) * 4).view(np.int32)
+            dists = _ssd_profile(span, query)
+            best_local = int(dists.argmin())
+            ctx.shared["best"][ctx.me()] = (int(dists[best_local]),
+                                            rng.start + best_local)
+            ctx.charge_loop(len(rng) * m, INSTR_PER_POINT)
+        yield ctx.barrier()
+        if ctx.me() == 0:
+            dist, index = min(ctx.shared["best"])
+            ctx.set_host_i64("best_dist", dist)
+            ctx.set_host_i64("best_index", index)
+            ctx.charge(ctx.nr_tasklets * 3)
+
+
+class TimeSeries(HostApplication):
+    """Host side of TS."""
+
+    name = "Time Series Analysis"
+    short_name = "TS"
+    domain = "Data analytics"
+
+    def __init__(self, nr_dpus: int, n_points: int = 1 << 17,
+                 query_len: int = 64, seed: int = 0) -> None:
+        super().__init__(nr_dpus, n_points=n_points, query_len=query_len,
+                         seed=seed)
+        self.series = random_array(n_points, np.int32, lo=0, hi=128,
+                                   seed=seed)
+        self.query = random_array(query_len, np.int32, lo=0, hi=128,
+                                  seed=seed + 1)
+
+    def expected(self) -> int:
+        dists = _ssd_profile(self.series, self.query)
+        return int(dists.argmin())
+
+    def verify(self, output) -> bool:
+        # Several windows can tie on distance; compare distances, not indices.
+        dists = _ssd_profile(self.series, self.query)
+        return int(dists[output]) == int(dists.min())
+
+    def run(self, transport: Transport) -> int:
+        profiler = transport.profiler
+        m = self.query.size
+        n_windows = self.series.size - m + 1
+        counts = self.split_even(n_windows, self.nr_dpus)
+        starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
+        chunk_points = [c + m - 1 for c in counts]
+        q_off = (max(chunk_points) * 4 + 7) // 8 * 8
+        with DpuSet(transport, self.nr_dpus) as dpus:
+            dpus.load(TsProgram())
+            with profiler.segment("CPU-DPU"):
+                dpus.push_to("n_points", 0,
+                             [np.array([c], np.uint32) for c in chunk_points])
+                dpus.broadcast_to("m", 0, np.array([m], np.uint32))
+                dpus.broadcast_to("q_offset", 0, np.array([q_off], np.uint32))
+                dpus.push_to_mram(0, [
+                    self.series[starts[i]:starts[i] + chunk_points[i]]
+                    for i in range(self.nr_dpus)
+                ])
+                dpus.push_to_mram(q_off, [self.query] * self.nr_dpus)
+            with profiler.segment("DPU"):
+                dpus.launch()
+            with profiler.segment("DPU-CPU"):
+                dists = dpus.push_from("best_dist", 0, 8)
+                indices = dpus.push_from("best_index", 0, 8)
+        best = None
+        for i in range(self.nr_dpus):
+            d = int(dists[i].view(np.int64)[0])
+            local = int(indices[i].view(np.int64)[0])
+            if local < 0:
+                continue
+            candidate = (d, int(starts[i]) + local)
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best[1]

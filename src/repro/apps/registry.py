@@ -1,0 +1,76 @@
+"""Table 1: the PrIM application inventory, plus the microbenchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.apps.base import HostApplication
+from repro.apps.prim import (
+    BinarySearch,
+    BreadthFirstSearch,
+    Gemv,
+    HistogramLong,
+    HistogramShort,
+    MultilayerPerceptron,
+    NeedlemanWunsch,
+    Reduction,
+    ScanRss,
+    ScanSsa,
+    Select,
+    SpMV,
+    TimeSeries,
+    Transpose,
+    Unique,
+    VectorAdd,
+)
+from repro.apps.micro import Checksum, IndexSearch
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """One row of Table 1."""
+
+    domain: str
+    benchmark: str
+    short_name: str
+    cls: Type[HostApplication]
+
+
+#: The 16 PrIM applications, ordered as in Table 1.
+PRIM_APPS: List[AppInfo] = [
+    AppInfo("Dense linear algebra", "Vector Addition", "VA", VectorAdd),
+    AppInfo("Dense linear algebra", "Matrix-Vector Multiply", "GEMV", Gemv),
+    AppInfo("Sparse linear algebra", "Sparse Matrix-Vector Multiply", "SpMV", SpMV),
+    AppInfo("Databases", "Select", "SEL", Select),
+    AppInfo("Databases", "Unique", "UNI", Unique),
+    AppInfo("Databases", "Binary Search", "BS", BinarySearch),
+    AppInfo("Data analytics", "Time Series Analysis", "TS", TimeSeries),
+    AppInfo("Graph processing", "Breadth-First Search", "BFS", BreadthFirstSearch),
+    AppInfo("Neural networks", "Multilayer Perceptron", "MLP", MultilayerPerceptron),
+    AppInfo("Bioinformatics", "Needleman-Wunsch", "NW", NeedlemanWunsch),
+    AppInfo("Image processing", "Image histogram short", "HST-S", HistogramShort),
+    AppInfo("Image processing", "Image histogram long", "HST-L", HistogramLong),
+    AppInfo("Parallel primitives", "Reduction", "RED", Reduction),
+    AppInfo("Parallel primitives", "Prefix Sum: scan-scan-add", "SCAN-SSA", ScanSsa),
+    AppInfo("Parallel primitives", "Prefix Sum: reduce-scan-scan", "SCAN-RSS", ScanRss),
+    AppInfo("Parallel primitives", "Matrix Transposition", "TRNS", Transpose),
+]
+
+#: PrIM apps plus the two UPMEM microbenchmarks.
+ALL_APPS: List[AppInfo] = PRIM_APPS + [
+    AppInfo("Microbenchmark", "Checksum", "CHK", Checksum),
+    AppInfo("Microbenchmark", "Wikipedia Index Search", "UPIS", IndexSearch),
+]
+
+_BY_SHORT: Dict[str, AppInfo] = {info.short_name: info for info in ALL_APPS}
+
+
+def app_by_short_name(short_name: str) -> AppInfo:
+    """Look up an application by its Table 1 short name."""
+    try:
+        return _BY_SHORT[short_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {short_name!r}; known: {sorted(_BY_SHORT)}"
+        ) from None

@@ -1,0 +1,200 @@
+"""Command-line interface: run applications and regenerate experiments.
+
+Usage::
+
+    python -m repro list                          # Table 1 inventory
+    python -m repro run VA --dpus 60 --mode vpim  # one application
+    python -m repro compare NW --dpus 16          # native vs vPIM
+    python -m repro figure fig9                   # regenerate a figure
+    python -m repro spec                          # the virtio-pim spec
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures
+from repro.analysis.report import format_table
+from repro.apps.registry import ALL_APPS
+from repro.virt.opts import PRESETS
+
+FIGURES = {
+    "fig8": lambda args: _print_fig8(args),
+    "fig9": lambda args: _print_fig9(args),
+    "fig10": lambda args: _print_fig10(args),
+    "fig11": lambda args: _print_fig11(args),
+    "fig14": lambda args: _print_fig14(args),
+    "fig15": lambda args: _print_fig15(args),
+    "fig16": lambda args: _print_fig16(args),
+}
+
+
+def _print_fig8(args) -> None:
+    runs = figures.fig8_prim_applications(
+        profile=args.profile, dpu_counts=tuple(args.dpu_counts))
+    rows = [(r.app, r.nr_dpus, f"{r.native.segments_total * 1e3:.1f}",
+             f"{r.vpim.segments_total * 1e3:.1f}", f"{r.overhead:.2f}x")
+            for r in runs]
+    print(format_table(["App", "DPUs", "native ms", "vPIM ms", "overhead"],
+                       rows, title="Fig. 8"))
+
+
+def _print_fig9(args) -> None:
+    sweeps = figures.fig9_checksum_sensitivity(scale=args.scale)
+    for name in ("vcpus", "dpus", "size"):
+        rows = [(p.x, f"{p.native_s:.4f}", f"{p.vpim_s:.4f}",
+                 f"{p.overhead:.2f}x") for p in sweeps[name]]
+        print(format_table([name, "native s", "vPIM s", "overhead"], rows,
+                           title=f"Fig. 9 ({name})"))
+        print()
+
+
+def _print_fig10(args) -> None:
+    points = figures.fig10_index_search()
+    rows = [(p.x, f"{p.native_s * 1e3:.1f}", f"{p.vpim_s * 1e3:.1f}",
+             f"{p.overhead:.2f}x") for p in points]
+    print(format_table(["#DPUs", "native ms", "vPIM ms", "overhead"], rows,
+                       title="Fig. 10"))
+
+
+def _print_fig11(args) -> None:
+    sweeps = figures.fig11_c_enhancement(scale=args.scale)
+    for name, series in sweeps.items():
+        rows = [(p.x, f"{p.native_s:.4f}",
+                 f"{p.variants['vPIM-rust'] / p.native_s:.2f}x",
+                 f"{p.variants['vPIM-C'] / p.native_s:.2f}x")
+                for p in series]
+        print(format_table([name, "native s", "rust ovh", "C ovh"], rows,
+                           title=f"Fig. 11 ({name})"))
+        print()
+
+
+def _print_fig14(args) -> None:
+    rows_data = figures.fig14_nw_ablation(profile=args.profile)
+    rows = [(r.mode, f"{r.total_s * 1e3:.1f}", r.messages, r.batched,
+             r.cache_hits) for r in rows_data]
+    print(format_table(["mode", "total ms", "messages", "batched", "hits"],
+                       rows, title="Fig. 14"))
+
+
+def _print_fig15(args) -> None:
+    points = figures.fig15_parallel_ranks()
+    rows = [(p.nr_ranks, f"{p.app_speedup:.2f}x", f"{p.write_speedup:.2f}x")
+            for p in points]
+    print(format_table(["ranks", "app speedup", "write speedup"], rows,
+                       title="Fig. 15"))
+
+
+def _print_fig16(args) -> None:
+    out = figures.fig16_request_times()
+    rows = [(i, f"{seq[1]:.4f}", f"{par[1]:.4f}")
+            for i, (seq, par) in enumerate(zip(out["vPIM-Seq"], out["vPIM"]))]
+    print(format_table(["rank", "sequential s", "parallel s"], rows,
+                       title="Fig. 16"))
+
+
+def cmd_list(args) -> int:
+    rows = [(info.domain, info.benchmark, info.short_name)
+            for info in ALL_APPS]
+    print(format_table(["Domain", "Benchmark", "Short name"], rows,
+                       title="Applications (Table 1 + microbenchmarks)"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    mode = "native" if args.mode == "native" else "vm"
+    report = figures.run_app(args.app, args.dpus, mode=mode,
+                             profile=args.profile, preset=args.preset)
+    print(report.row())
+    print(f"segments: " + ", ".join(
+        f"{k}={v * 1e3:.2f}ms" for k, v in report.segments.items()))
+    if report.vmexits:
+        print(f"guest<->VMM transitions: {report.vmexits}")
+    return 0 if report.verified else 1
+
+
+def cmd_compare(args) -> int:
+    run = figures.compare_app(args.app, args.dpus, profile=args.profile,
+                              preset=args.preset)
+    print(run.native.row())
+    print(run.vpim.row())
+    print(f"overhead: {run.overhead:.2f}x")
+    return 0 if (run.native.verified and run.vpim.verified) else 1
+
+
+def cmd_figure(args) -> int:
+    FIGURES[args.name](args)
+    return 0
+
+
+def cmd_spec(args) -> int:
+    from repro.virt.virtio import VirtioPimConfigSpace
+    from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
+    space = VirtioPimConfigSpace()
+    print("virtio-pim device specification (paper Appendix A.1)")
+    print(f"  device ID        : {space.device_id}")
+    print(f"  queues           : transferq ({TRANSFERQ_SLOTS} slots), controlq")
+    print(f"  max chain        : {MAX_SERIALIZED_BUFFERS} buffers "
+          "(request info + matrix meta + 64 x (DPU meta + pages))")
+    print("  feature bits     : none")
+    print("  config layout    :")
+    for key, value in space.as_fields().items():
+        if key != "device_id":
+            print(f"    {key:<22} {value}")
+    print("  operations       : GET_CONFIG, LOAD, WRITE_RANK, READ_RANK, "
+          "LAUNCH, CI_OP, RELEASE")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="vPIM reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the applications").set_defaults(
+        fn=cmd_list)
+
+    run = sub.add_parser("run", help="run one application")
+    run.add_argument("app", choices=[i.short_name for i in ALL_APPS])
+    run.add_argument("--dpus", type=int, default=16)
+    run.add_argument("--mode", choices=["native", "vpim"], default="vpim")
+    run.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    run.add_argument("--profile", choices=["test", "bench"], default="test")
+    run.set_defaults(fn=cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="native vs vPIM on one app")
+    cmp_.add_argument("app", choices=[i.short_name for i in ALL_APPS])
+    cmp_.add_argument("--dpus", type=int, default=16)
+    cmp_.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    cmp_.add_argument("--profile", choices=["test", "bench"], default="test")
+    cmp_.set_defaults(fn=cmd_compare)
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--scale", type=int, default=32)
+    fig.add_argument("--profile", choices=["test", "bench"], default="test")
+    fig.add_argument("--dpu-counts", type=int, nargs="+", default=[60, 480])
+    fig.set_defaults(fn=cmd_figure)
+
+    sub.add_parser("spec", help="print the virtio-pim specification"
+                   ).set_defaults(fn=cmd_spec)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""The vPIM public API.
+
+Typical use::
+
+    from repro.core import VPim
+
+    vpim = VPim()                              # the paper's 8-rank testbed
+    native = vpim.native_session()
+    report = native.run(VectorAdd(nr_dpus=60))
+
+    vm = vpim.vm_session(nr_vupmem=1)          # full vPIM optimizations
+    vreport = vm.run(VectorAdd(nr_dpus=60))
+    print(vreport.overhead_vs(report))         # e.g. 1.08
+"""
+
+from repro.core.api import VPim
+from repro.core.session import ExecutionSession
+from repro.core.results import ExecutionReport
+
+__all__ = ["VPim", "ExecutionSession", "ExecutionReport"]

@@ -1,0 +1,73 @@
+"""Execution reports: what one application run measured."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sdk.profile import SEGMENTS, ProfileSnapshot
+
+
+@dataclass
+class ExecutionReport:
+    """Everything recorded for one application run."""
+
+    app_name: str
+    mode: str                          #: "native", "vPIM", "vPIM-rust", ...
+    nr_dpus: int
+    total_time: float                  #: simulated seconds
+    profile: ProfileSnapshot
+    verified: bool
+    vmexits: int = 0
+    rank_completions: List[Tuple[int, float]] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def segments(self) -> Dict[str, float]:
+        return {name: self.profile.segments.get(name, 0.0)
+                for name in SEGMENTS}
+
+    @property
+    def segments_total(self) -> float:
+        """Sum of the four application segments — what Fig. 8 plots.
+
+        ``total_time`` additionally includes allocation/load/free, which
+        the paper reports separately (the 36 ms ``dpu_alloc`` manager
+        cost, Section 4.2).
+        """
+        return sum(self.segments.values())
+
+    def overhead_vs(self, baseline: "ExecutionReport",
+                    metric: str = "segments") -> float:
+        """Overhead factor relative to ``baseline``.
+
+        ``metric`` is "segments" (the paper's execution-time comparison)
+        or "wall" (includes allocation and teardown).
+        """
+        if metric == "wall":
+            mine, base = self.total_time, baseline.total_time
+        else:
+            mine, base = self.segments_total, baseline.segments_total
+        if base <= 0:
+            raise ValueError("baseline has zero execution time")
+        return mine / base
+
+    def segment_overhead_vs(self, baseline: "ExecutionReport",
+                            segment: str) -> Optional[float]:
+        """Per-segment overhead, or None when the baseline segment is ~0."""
+        base = baseline.profile.segments.get(segment, 0.0)
+        mine = self.profile.segments.get(segment, 0.0)
+        if base <= 1e-12:
+            return None
+        return mine / base
+
+    def row(self) -> str:
+        """One human-readable table row (benchmark harness output)."""
+        seg = self.segments
+        return (f"{self.app_name:<12} {self.mode:<10} dpus={self.nr_dpus:<4} "
+                f"total={self.total_time * 1e3:9.2f}ms  "
+                f"CPU-DPU={seg['CPU-DPU'] * 1e3:8.2f}  "
+                f"DPU={seg['DPU'] * 1e3:8.2f}  "
+                f"Inter-DPU={seg['Inter-DPU'] * 1e3:8.2f}  "
+                f"DPU-CPU={seg['DPU-CPU'] * 1e3:8.2f}  "
+                f"ok={self.verified}")

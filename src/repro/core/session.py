@@ -1,0 +1,51 @@
+"""Execution sessions: run an application on one transport and report."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.results import ExecutionReport
+from repro.sdk.transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.base import HostApplication
+    from repro.virt.vm import Vm
+
+
+class ExecutionSession:
+    """Binds a transport (native or virtualized) to a run/report loop."""
+
+    def __init__(self, transport: Transport, mode: str,
+                 vm: Optional["Vm"] = None) -> None:
+        self.transport = transport
+        self.mode = mode
+        self.vm = vm
+
+    def run(self, app: "HostApplication",
+            verify: bool = True) -> ExecutionReport:
+        """Execute ``app`` once; returns its report.
+
+        The profiler is reset so back-to-back runs on the same session do
+        not bleed into each other; the VM (if any) persists, so rank
+        reuse through the manager behaves as in a long-lived guest.
+        """
+        profiler = self.transport.profiler
+        profiler.reset()
+        vmexits_before = self.vm.kvm.stats.vmexits if self.vm else 0
+        start = self.transport.clock.now
+
+        output = app.run(self.transport)
+
+        total = self.transport.clock.now - start
+        verified = app.verify(output) if verify else True
+        vmexits = (self.vm.kvm.stats.vmexits - vmexits_before) if self.vm else 0
+        return ExecutionReport(
+            app_name=app.short_name,
+            mode=self.mode,
+            nr_dpus=app.nr_dpus,
+            total_time=total,
+            profile=profiler.snapshot(),
+            verified=verified,
+            vmexits=vmexits,
+            params=dict(app.params),
+        )

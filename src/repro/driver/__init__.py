@@ -1,0 +1,20 @@
+"""The UPMEM Linux driver model (Fig. 3).
+
+The driver exposes each rank to userspace two ways:
+
+- **safe mode**: ioctl-style requests through the kernel, providing
+  isolation between host applications — the mode the *guest* SDK uses
+  against the vUPMEM frontend device file;
+- **performance mode**: the application mmaps the rank's MRAMs and
+  control interfaces and bypasses the kernel — the mode Firecracker's
+  backend (and native benchmarks) use.
+
+The driver also maintains the sysfs rank-status files the vPIM manager's
+observer thread watches to detect rank releases (Section 3.5).
+"""
+
+from repro.driver.sysfs import SysFs
+from repro.driver.driver import UpmemDriver, PerfModeMapping
+from repro.driver.native import NativeTransport
+
+__all__ = ["SysFs", "UpmemDriver", "PerfModeMapping", "NativeTransport"]

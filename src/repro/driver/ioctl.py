@@ -1,0 +1,37 @@
+"""Safe-mode ioctl request codes and payloads.
+
+In safe mode every operation is a request through the kernel driver; the
+codes below mirror the operation set a vUPMEM frontend must forward
+(Appendix A.1 "Device operations": request configuration, send command,
+read command, write to the device, read from the device).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sdk.transfer import TransferMatrix
+
+
+class IoctlCode(enum.Enum):
+    GET_CONFIG = 0x5001        #: read device configuration/attributes
+    ALLOC_RANK = 0x5002        #: reserve a rank for the calling process
+    FREE_RANK = 0x5003         #: release a rank
+    LOAD_PROGRAM = 0x5004      #: install a DPU binary
+    WRITE_RANK = 0x5005        #: write-to-rank (transfer matrix)
+    READ_RANK = 0x5006         #: read-from-rank (transfer matrix)
+    LAUNCH = 0x5007            #: boot DPUs and wait
+    CI_OP = 0x5008             #: raw control-interface operations
+
+
+@dataclass
+class IoctlRequest:
+    """One safe-mode request."""
+
+    code: IoctlCode
+    rank_index: int
+    matrix: Optional[TransferMatrix] = None
+    program: Optional[object] = None
+    count: int = 1

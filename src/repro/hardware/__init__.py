@@ -1,0 +1,33 @@
+"""UPMEM hardware functional + timing simulator.
+
+This subpackage models the machine in Fig. 1 of the paper: host CPU and
+DRAM plus UPMEM DIMMs, each DIMM holding 2 ranks of 8 PIM chips with
+8 DPUs per chip.  Every DPU owns a 64 MB MRAM bank, 64 KB WRAM and
+24 KB IRAM and executes up to 24 tasklets.
+
+The simulator is *functional* (data operations really happen, on numpy
+buffers) and *timed* (every action advances a :class:`~repro.hardware.clock.
+SimClock` according to the :class:`~repro.hardware.timing.CostModel`).
+"""
+
+from repro.hardware.clock import SimClock
+from repro.hardware.memory import MemoryRegion
+from repro.hardware.timing import CostModel
+from repro.hardware.dpu import Dpu, DpuState
+from repro.hardware.chip import PimChip
+from repro.hardware.rank import Rank, ControlInterface
+from repro.hardware.dimm import Dimm
+from repro.hardware.machine import Machine
+
+__all__ = [
+    "SimClock",
+    "MemoryRegion",
+    "CostModel",
+    "Dpu",
+    "DpuState",
+    "PimChip",
+    "Rank",
+    "ControlInterface",
+    "Dimm",
+    "Machine",
+]

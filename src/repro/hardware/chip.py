@@ -1,0 +1,36 @@
+"""A PIM chip: the 8-DPU physical grouping inside a rank.
+
+Chips matter for two behaviours the paper relies on:
+
+- the backend operates on 8 DPUs at a time with 8 worker threads, "aligned
+  with the system's setup, which involves 64 DPUs organized into chips of
+  8 DPUs" (Section 4.2);
+- byte interleaving spreads each 64-bit word one byte per chip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import DPUS_PER_CHIP
+from repro.hardware.dpu import Dpu
+
+
+class PimChip:
+    """One memory chip holding :data:`~repro.config.DPUS_PER_CHIP` DPUs."""
+
+    def __init__(self, rank_index: int, chip_index: int,
+                 dpus: List[Dpu]) -> None:
+        if len(dpus) > DPUS_PER_CHIP:
+            raise ValueError(
+                f"a chip holds at most {DPUS_PER_CHIP} DPUs, got {len(dpus)}"
+            )
+        self.rank_index = rank_index
+        self.chip_index = chip_index
+        self.dpus = dpus
+
+    def __len__(self) -> int:
+        return len(self.dpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PimChip(r{self.rank_index}.c{self.chip_index}, {len(self)} DPUs)"

@@ -1,0 +1,68 @@
+"""Simulated time.
+
+All performance numbers in this reproduction are *simulated* durations, not
+wall-clock measurements: the functional simulator executes real data
+operations but accounts their cost through :class:`SimClock`.  This keeps
+results deterministic and lets scaled-down datasets preserve the paper's
+overhead ratios.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds).
+
+    The clock supports nested *span* recording so that layers can attribute
+    elapsed simulated time to named segments (e.g. ``CPU-DPU``), mirroring
+    the paper's application-centric and driver-centric breakdowns.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._now += seconds
+
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to ``deadline`` if it lies in the future."""
+        if deadline > self._now:
+            self._now = deadline
+
+    def reset(self) -> None:
+        """Reset to t=0 (used between independent experiment runs)."""
+        self._now = 0.0
+
+
+class SpanRecorder:
+    """Records named (start, end) spans against a :class:`SimClock`.
+
+    Used by the profiling layer to build breakdowns.  Spans may nest; the
+    recorder stores them flat and lets the caller aggregate.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.spans: List[Tuple[str, float, float]] = []
+
+    def record(self, name: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.spans.append((name, start, end))
+
+    def total(self, name: str) -> float:
+        """Sum of durations of all spans with ``name``."""
+        return sum(end - start for n, start, end in self.spans if n == name)
+
+    def clear(self) -> None:
+        self.spans.clear()

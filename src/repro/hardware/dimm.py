@@ -1,0 +1,27 @@
+"""A PIM DIMM: the DDR4 module holding two ranks (Section 2)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import RANKS_PER_DIMM
+from repro.hardware.rank import Rank
+
+
+class Dimm:
+    """One UPMEM DIMM, a standard DDR4-2400 module carrying 2 ranks."""
+
+    def __init__(self, index: int, ranks: List[Rank]) -> None:
+        if len(ranks) > RANKS_PER_DIMM:
+            raise ValueError(
+                f"a DIMM holds at most {RANKS_PER_DIMM} ranks, got {len(ranks)}"
+            )
+        self.index = index
+        self.ranks = ranks
+
+    @property
+    def nr_dpus(self) -> int:
+        return sum(rank.nr_dpus for rank in self.ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dimm({self.index}, {len(self.ranks)} ranks)"

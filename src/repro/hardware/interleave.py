@@ -1,0 +1,58 @@
+"""Byte interleaving between host cache lines and PIM chips.
+
+UPMEM DIMMs spread each 64-bit word over the 8 chips of a rank, one byte
+per chip (Section 2, Fig. 1: "64 bits" across the DDR4 interface).  The
+host CPU must therefore shuffle every transferred buffer; this shuffle is
+the hot loop the paper rewrites in C with AVX-512 ("vPIM-rust ... uses AVX2
+for byte-interleaving", Section 5.4.1).
+
+The codec below performs the shuffle for real (numpy strided reshape), so
+transfers through a rank genuinely exercise this code path, and the cost
+model charges it at a rate that depends on the implementation flavour
+(C/AVX-512 vs Rust/AVX2).
+
+It also provides the *isolation* property the paper relies on in Section
+3.5: a DPU program reading its own MRAM bank sees an interleaved byte
+stream of other tenants' data when the device is used as plain memory,
+never whole words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CHIPS_PER_RANK
+
+#: Interleaving word width in bytes: one byte goes to each of the 8 chips.
+WORD_BYTES = CHIPS_PER_RANK
+
+
+def interleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
+    """Shuffle ``data`` from host linear order to chip-major order.
+
+    ``data`` length must be a multiple of ``nr_chips``.  Returns a new
+    array laid out as ``nr_chips`` contiguous per-chip streams.
+    """
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if flat.size % nr_chips != 0:
+        raise ValueError(
+            f"interleave requires a multiple of {nr_chips} bytes, "
+            f"got {flat.size}"
+        )
+    return flat.reshape(-1, nr_chips).T.reshape(-1).copy()
+
+
+def deinterleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
+    """Inverse of :func:`interleave`."""
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if flat.size % nr_chips != 0:
+        raise ValueError(
+            f"deinterleave requires a multiple of {nr_chips} bytes, "
+            f"got {flat.size}"
+        )
+    return flat.reshape(nr_chips, -1).T.reshape(-1).copy()
+
+
+def roundtrip_identity(data: np.ndarray) -> bool:
+    """Property used in tests: deinterleave(interleave(x)) == x."""
+    return bool(np.array_equal(deinterleave(interleave(data)), data))

@@ -1,0 +1,132 @@
+"""Lazily materialized byte-addressable memory regions.
+
+A full testbed exposes 480 DPUs x 64 MB of MRAM = 30 GB, which we cannot
+(and need not) allocate eagerly.  :class:`MemoryRegion` materializes fixed
+size segments on first write; reads of untouched areas return zeros, which
+matches DRAM content after the manager's reset-to-zero policy (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import MemoryAccessError
+
+BytesLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+#: Materialization granularity.  64 KB balances dict overhead against waste.
+SEGMENT_SIZE = 64 * 1024
+
+
+def _as_u8(data: BytesLike) -> np.ndarray:
+    """View ``data`` as a contiguous uint8 numpy array without copying."""
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    return np.frombuffer(bytes(data) if isinstance(data, memoryview) else data,
+                         dtype=np.uint8)
+
+
+class MemoryRegion:
+    """A byte-addressable region of ``size`` bytes, materialized on demand.
+
+    Supports the three memory kinds of a DPU (MRAM, WRAM, IRAM) as well as
+    guest physical memory in the virtualization layer.
+    """
+
+    def __init__(self, size: int, name: str = "mem") -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = size
+        self.name = name
+        self._segments: Dict[int, np.ndarray] = {}
+
+    # -- bounds -----------------------------------------------------------
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise MemoryAccessError(
+                f"{self.name}: access [{offset}, {offset + length}) outside "
+                f"region of {self.size} bytes"
+            )
+
+    # -- data path --------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        """Return ``length`` bytes starting at ``offset`` as a uint8 array."""
+        self._check(offset, length)
+        out = np.zeros(length, dtype=np.uint8)
+        pos = 0
+        while pos < length:
+            seg_idx, seg_off = divmod(offset + pos, SEGMENT_SIZE)
+            chunk = min(length - pos, SEGMENT_SIZE - seg_off)
+            seg = self._segments.get(seg_idx)
+            if seg is not None:
+                out[pos:pos + chunk] = seg[seg_off:seg_off + chunk]
+            pos += chunk
+        return out
+
+    def write(self, offset: int, data: BytesLike) -> None:
+        """Write ``data`` starting at ``offset``."""
+        buf = _as_u8(data)
+        self._check(offset, buf.size)
+        pos = 0
+        while pos < buf.size:
+            seg_idx, seg_off = divmod(offset + pos, SEGMENT_SIZE)
+            chunk = min(buf.size - pos, SEGMENT_SIZE - seg_off)
+            seg = self._segments.get(seg_idx)
+            if seg is None:
+                seg = np.zeros(SEGMENT_SIZE, dtype=np.uint8)
+                self._segments[seg_idx] = seg
+            seg[seg_off:seg_off + chunk] = buf[pos:pos + chunk]
+            pos += chunk
+
+    def fill(self, value: int = 0) -> None:
+        """Set the whole region to ``value``.
+
+        Filling with zero simply drops all materialized segments (untouched
+        memory reads back as zero), which is how the manager's rank reset is
+        implemented cheaply.
+        """
+        if value == 0:
+            self._segments.clear()
+        else:
+            for seg in self._segments.values():
+                seg[:] = value
+            # Non-zero fill of unmaterialized space must materialize it; we
+            # forbid it for huge regions since nothing in the stack needs it.
+            if self.size > 1 << 30:
+                raise MemoryAccessError(
+                    f"{self.name}: non-zero fill of a {self.size}-byte region "
+                    "is not supported"
+                )
+            full = np.full(self.size, value, dtype=np.uint8)
+            self._segments.clear()
+            self.write(0, full)
+
+    # -- snapshots (checkpoint/restore support) -----------------------------
+
+    def snapshot_segments(self) -> Dict[int, np.ndarray]:
+        """Copy of the materialized segments (sparse checkpoint)."""
+        return {idx: seg.copy() for idx, seg in self._segments.items()}
+
+    def load_segments(self, segments: Dict[int, np.ndarray]) -> None:
+        """Replace contents with a snapshot from :meth:`snapshot_segments`."""
+        for idx in segments:
+            if idx < 0 or idx * SEGMENT_SIZE >= self.size:
+                raise MemoryAccessError(
+                    f"{self.name}: snapshot segment {idx} outside region"
+                )
+        self._segments = {idx: seg.copy() for idx, seg in segments.items()}
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def materialized_bytes(self) -> int:
+        """Bytes of backing store actually allocated (for memory accounting)."""
+        return len(self._segments) * SEGMENT_SIZE
+
+    def is_zero(self) -> bool:
+        """True if every byte reads back as zero (used by isolation tests)."""
+        return all(not seg.any() for seg in self._segments.values())

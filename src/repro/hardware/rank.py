@@ -1,0 +1,238 @@
+"""The rank: UPMEM's allocation and transfer granularity.
+
+A rank bundles 8 PIM chips = 64 DPUs behind one control interface (CI).
+All host interactions happen at rank granularity:
+
+- ``write_mram`` / ``read_mram`` move data between host buffers and the
+  MRAM banks of any subset of the rank's DPUs in one operation;
+- ``launch`` boots a loaded program on a set of DPUs and runs it to
+  completion (the hardware cannot pause/resume, Section 2);
+- the CI carries command/status traffic and is the unit the paper's
+  "CI operations" statistics count.
+
+Hardware methods *return* simulated durations instead of advancing a clock
+so that callers (native driver vs virtualized backend) can attribute the
+time to the right place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DPUS_PER_CHIP, MAX_XFER_BYTES, RankConfig
+from repro.errors import ControlInterfaceError, MemoryAccessError, TransferError
+from repro.hardware.chip import PimChip
+from repro.hardware.dpu import Dpu, DpuRunStats, DpuState
+from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+
+
+class CiCommand(enum.Enum):
+    """Control-interface command kinds tracked by the statistics."""
+
+    STATUS = "status"
+    BOOT = "boot"
+    LOAD = "load"
+    RESET = "reset"
+    CONFIG = "config"
+
+
+@dataclass
+class CiCounters:
+    """Per-rank control-interface statistics (drives Fig. 12's "CI" bar)."""
+
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, command: CiCommand, count: int = 1) -> None:
+        self.ops[command.value] = self.ops.get(command.value, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.ops.values())
+
+
+class ControlInterface:
+    """The command/status port of a rank."""
+
+    def __init__(self, rank: "Rank") -> None:
+        self._rank = rank
+        self.counters = CiCounters()
+
+    def execute(self, command: CiCommand, count: int = 1) -> float:
+        """Perform ``count`` CI operations; returns their native duration."""
+        if count < 0:
+            raise ControlInterfaceError(f"negative CI op count {count}")
+        self.counters.record(command, count)
+        return count * self._rank.cost.ci_op_native
+
+    def status(self) -> List[DpuState]:
+        """One STATUS op reading the run state of every DPU."""
+        self.counters.record(CiCommand.STATUS)
+        return [dpu.state for dpu in self._rank.dpus]
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    """One DPU's slice of a write-to-rank operation."""
+
+    dpu_index: int
+    offset: int
+    data: np.ndarray
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One DPU's slice of a read-from-rank operation."""
+
+    dpu_index: int
+    offset: int
+    length: int
+
+
+class Rank:
+    """One UPMEM rank (64 DPUs across 8 chips)."""
+
+    def __init__(self, config: RankConfig,
+                 cost: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.config = config
+        self.cost = cost
+        self.index = config.index
+        self.dpus: List[Dpu] = [
+            Dpu(config.index, i) for i in range(config.functional_dpus)
+        ]
+        self.chips: List[PimChip] = [
+            PimChip(config.index, c, self.dpus[c * DPUS_PER_CHIP:(c + 1) * DPUS_PER_CHIP])
+            for c in range((len(self.dpus) + DPUS_PER_CHIP - 1) // DPUS_PER_CHIP)
+        ]
+        self.ci = ControlInterface(self)
+        # transfer statistics
+        self.write_ops = 0
+        self.read_ops = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def nr_dpus(self) -> int:
+        return len(self.dpus)
+
+    def dpu(self, index: int) -> Dpu:
+        try:
+            return self.dpus[index]
+        except IndexError:
+            raise MemoryAccessError(
+                f"rank {self.index} has {self.nr_dpus} DPUs, asked for {index}"
+            ) from None
+
+    # -- transfers ---------------------------------------------------------
+
+    def _transfer_duration(self, total: int, nr_targets: int,
+                           rust_interleave: bool) -> float:
+        """Duration of one rank operation moving ``total`` bytes.
+
+        A transfer covering a single DPU only drives one of the rank's
+        8 chip lanes (byte interleaving spreads each word over the
+        chips, but one DPU's MRAM sits behind one chip), so serial
+        per-DPU copies — the SEL/UNI/SpMV/BFS retrieval pattern — run at
+        roughly 1/8 of the rank bandwidth plus an extra per-copy setup.
+        """
+        bw = self.cost.rank_xfer_bandwidth
+        extra = 0.0
+        if nr_targets == 1:
+            bw /= DPUS_PER_CHIP
+            extra = self.cost.dpu_copy_fixed
+        return (self.cost.rank_op_fixed + extra + total / bw
+                + self.cost.interleave_time(total, rust=rust_interleave))
+
+    def write_mram(self, specs: Sequence[WriteSpec],
+                   rust_interleave: bool = False) -> float:
+        """Write-to-rank: one rank operation covering ``specs``.
+
+        Returns the simulated duration: fixed op cost + copy bandwidth +
+        host-CPU interleaving work (C/AVX-512 unless ``rust_interleave``).
+        """
+        total = 0
+        for spec in specs:
+            buf = np.ascontiguousarray(spec.data).view(np.uint8).reshape(-1)
+            if buf.size > MAX_XFER_BYTES:
+                raise TransferError(
+                    f"transfer of {buf.size} bytes exceeds the 4 GB rank limit"
+                )
+            self.dpu(spec.dpu_index).mram.write(spec.offset, buf)
+            total += buf.size
+        if total > MAX_XFER_BYTES:
+            raise TransferError(
+                f"rank operation of {total} bytes exceeds the 4 GB limit"
+            )
+        self.write_ops += 1
+        self.bytes_written += total
+        return self._transfer_duration(total, len(specs), rust_interleave)
+
+    def read_mram(self, specs: Sequence[ReadSpec],
+                  rust_interleave: bool = False) -> Tuple[List[np.ndarray], float]:
+        """Read-from-rank: returns per-spec buffers and the duration."""
+        out: List[np.ndarray] = []
+        total = 0
+        for spec in specs:
+            if spec.length > MAX_XFER_BYTES:
+                raise TransferError(
+                    f"transfer of {spec.length} bytes exceeds the 4 GB rank limit"
+                )
+            out.append(self.dpu(spec.dpu_index).mram.read(spec.offset, spec.length))
+            total += spec.length
+        self.read_ops += 1
+        self.bytes_read += total
+        duration = self._transfer_duration(total, len(specs), rust_interleave)
+        return out, duration
+
+    # -- execution -----------------------------------------------------------
+
+    def launch(self, dpu_indices: Iterable[int],
+               runner: Callable[[Dpu], DpuRunStats]) -> float:
+        """Boot and run the loaded program on ``dpu_indices``.
+
+        ``runner`` executes the program functionally on one DPU and returns
+        its :class:`DpuRunStats`; the rank converts stats to time.  All DPUs
+        run in parallel, so rank duration is the slowest DPU's duration.
+        The launch also performs the mandatory CI boot sequence.
+        """
+        indices = list(dpu_indices)
+        self.ci.counters.record(CiCommand.BOOT, len(indices))
+        slowest = 0.0
+        for idx in indices:
+            dpu = self.dpu(idx)
+            dpu.begin_run()
+            try:
+                stats = runner(dpu)
+            except Exception:
+                # A crashed kernel leaves the DPU in the FAULT state the
+                # CI reports; it must not stay RUNNING forever.
+                dpu.fault()
+                raise
+            dpu.finish_run(stats)
+            duration = (self.cost.pipeline_time(stats.tasklet_instructions)
+                        + self.cost.dma_time(stats.dma_ops, stats.dma_bytes))
+            slowest = max(slowest, duration)
+        return slowest
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self) -> float:
+        """Erase every DPU's memories and state; returns the reset duration.
+
+        This is what the manager triggers after a VM releases the rank to
+        prevent cross-tenant information leaks (Section 3.5).
+        """
+        for dpu in self.dpus:
+            dpu.reset()
+        self.ci.counters.record(CiCommand.RESET)
+        return self.cost.manager_reset
+
+    def is_clean(self) -> bool:
+        """True when all MRAM banks read back as zero (isolation check)."""
+        return all(dpu.mram.is_zero() for dpu in self.dpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rank({self.index}, {self.nr_dpus} DPUs)"

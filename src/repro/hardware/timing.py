@@ -1,0 +1,192 @@
+"""The calibrated cost model.
+
+Every simulated duration in the stack is derived from the constants below.
+Calibration anchors come straight from the paper:
+
+- DPU frequency 350 MHz; two consecutive instructions of one tasklet must
+  be >= 11 cycles apart, so pipeline time is
+  ``max(total_instructions, 11 * max_per_tasklet_instructions)`` cycles
+  (Section 2, also the standard PrIM model).
+- A guest->VMM transition (virtio kick: trap into KVM, forward to
+  Firecracker, handle, inject IRQ, resume guest) carries a fixed cost that
+  dominates small transfers — the paper's headline observation that *call
+  count*, not bytes, drives overhead (Sections 1 and 5.3.1).
+- The Rust data path is ~3.43x slower than the C/AVX-512 one (the "343%
+  improvement" of Section 4.2 / Fig. 11).
+- Manager: rank allocation from NAAV costs ~36 ms; a rank reset costs
+  ~597 ms (Section 4.2 "Manager's Overhead").
+- Fig. 9c fixes the ratio between per-byte and per-call virtualization
+  costs: checksum overhead falls from 2.33x at 8 MB/DPU to 1.29x at
+  60 MB/DPU.
+
+Absolute values will not match the authors' Xeon 4215 testbed — the
+assertions in ``tests/analysis/test_paper_shapes.py`` check *shapes*
+(who wins, rough factors, crossovers), as the reproduction contract says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import DPU_FREQUENCY_HZ, PAGE_SIZE, PIPELINE_DEPTH
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All timing constants, in seconds (or cycles where noted)."""
+
+    # -- DPU core ----------------------------------------------------------
+    dpu_frequency_hz: float = DPU_FREQUENCY_HZ
+    pipeline_depth: int = PIPELINE_DEPTH
+    #: MRAM<->WRAM DMA: fixed setup cycles + cycles per byte.  ~77-cycle
+    #: setup and ~0.5 cycles/byte match published UPMEM microbenchmarks.
+    dma_setup_cycles: float = 77.0
+    dma_cycles_per_byte: float = 0.5
+
+    # -- Host <-> rank transfers (native, performance mode) ----------------
+    #: Fixed cost of one rank-level transfer operation (driver call, CI
+    #: programming, DMA kick).
+    rank_op_fixed: float = 1.5e-6
+    #: Sustained host<->rank copy bandwidth, bytes/second.  UPMEM rank
+    #: transfer peaks around a few GB/s; 2.8 GB/s reproduces the scale of
+    #: Fig. 9's checksum times.
+    rank_xfer_bandwidth: float = 2.8e9
+    #: Host-side interleaving shuffle throughput for the C/AVX-512 flavour
+    #: (bytes/second).  The native SDK always uses this flavour.
+    interleave_bw_c: float = 9.0e9
+    #: Rust/AVX2 data-path slowdown vs C/AVX-512.  Section 4.2 quotes a
+    #: per-function improvement of "up to 343%", but Fig. 13's end-to-end
+    #: breakdown (T-data = 98.3% of a ~1.5 s write in Rust vs ~30 ms in C
+    #: for the same 480 MB) implies a far larger data-path gap; we
+    #: calibrate to the Fig. 11/13 behaviour, which the ablation tests
+    #: assert (rust >= 3.43x slower on the write path).
+    rust_slowdown: float = 30.0
+    #: Fixed cost of a serial per-DPU copy (dpu_copy_to/from one DPU).
+    dpu_copy_fixed: float = 1.2e-6
+
+    # -- Control interface --------------------------------------------------
+    #: One native CI operation (status poll, command byte) through mmap.
+    ci_op_native: float = 2e-6
+    #: Guest-side polling period during dpu_launch(SYNCHRONOUS): the SDK
+    #: re-reads DPU run status at this cadence.  Chosen so a 2.8 s checksum
+    #: run observes ~28000 CI ops, matching Section 5.3.1's "8000 to 28000".
+    launch_poll_period: float = 100e-6
+    #: Mandatory CI operations per launch (boot fault clear, thread resume,
+    #: per-chip status reads) regardless of run length.
+    ci_ops_per_launch: int = 640
+
+    # -- Virtualization: guest <-> VMM transitions ---------------------------
+    #: Guest write to the virtio kick register -> KVM trap -> Firecracker
+    #: event handler dispatch.
+    vmexit_cost: float = 8e-6
+    #: IRQ injection + guest driver wakeup on completion.
+    irq_inject_cost: float = 12e-6
+    #: Firecracker event-loop handling of one queue notification (epoll
+    #: wakeup, descriptor fetch) before any payload work.  Together with
+    #: the trap/IRQ and backend fixed costs, one data request carries
+    #: ~90 us of fixed overhead vs ~3 us for a native small operation —
+    #: the ~26x-per-IO-op regime the paper cites for Firecracker.
+    event_dispatch_cost: float = 25e-6
+    #: Extra per-roundtrip latency a *synchronous* CI operation pays inside
+    #: a VM on top of the native CI cost.  Drives the launch-poll overhead
+    #: and the small-request pathologies.
+    ci_virt_roundtrip: float = 50e-6
+
+    # -- Virtualization: per-page costs --------------------------------------
+    #: Frontend page management: pinning user pages and collecting their
+    #: GPAs (Section 5.4.1's "Page" step).
+    page_mgmt_per_page: float = 100e-9
+    #: Frontend serialization of the transfer matrix, per page pointer.
+    serialize_per_page: float = 60e-9
+    #: Backend deserialization, per page pointer.
+    deserialize_per_page: float = 50e-9
+    #: GPA->HVA translation, per page, before dividing by the translation
+    #: thread count (Section 4.2 uses several threads to accelerate it).
+    translate_per_page: float = 160e-9
+    #: Fixed start-up cost of the threaded translation (thread handoff).
+    translate_fixed: float = 5e-6
+    #: Plain in-guest memcpy bandwidth (prefetch-cache hits, batch-buffer
+    #: accumulation) — ordinary DRAM copies, no interleaving.
+    guest_copy_bandwidth: float = 8.0e9
+
+    #: Contention between concurrently-handled rank requests in the VMM.
+    #: Fig. 16 shows parallel per-rank write requests each taking ~6 s
+    #: where a solo request takes ~1.1 s: the backend threads share the
+    #: host memory bus, so parallel handling wins ~1.4x on writes and
+    #: ~1.13x end-to-end (Fig. 15), not a full rank-count factor.
+    #: 0 = perfectly parallel, 1 = fully serialized.
+    parallel_contention: float = 0.55
+    #: Contention between concurrent *native* rank transfers (the SDK's
+    #: per-rank threads share the memory bus too, but without the VMM's
+    #: thread handoffs): aggregate bandwidth over 8 ranks scales ~3x.
+    native_parallel_contention: float = 0.25
+
+    # -- Backend execution ----------------------------------------------------
+    #: Worker-thread handoff for one DPU-operation batch.
+    backend_dispatch: float = 10e-6
+    #: Per-request bookkeeping in the backend module.
+    backend_request_fixed: float = 35e-6
+
+    # -- Manager ---------------------------------------------------------------
+    #: dpu_alloc-triggered allocation of a NAAV rank (Section 4.2: 36 ms).
+    manager_alloc: float = 36e-3
+    #: Full rank reset: memset of 64 x 64 MB MRAM (Section 4.2: 597 ms).
+    manager_reset: float = 597e-3
+    #: Observer-thread sysfs polling period.
+    manager_observe_period: float = 50e-3
+    #: Manager retry timeout when no rank is available.
+    manager_retry_timeout: float = 100e-3
+
+    # -- VM lifecycle -------------------------------------------------------------
+    #: Extra boot time contributed by one vUPMEM device (Section 3.2: <=2 ms).
+    vupmem_boot_cost: float = 2e-3
+    #: Device configuration request during driver init.
+    config_request_cost: float = 30e-6
+
+    # -- derived helpers ------------------------------------------------------
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.dpu_frequency_hz
+
+    def pipeline_time(self, per_tasklet_instructions) -> float:
+        """Wall time of a DPU run given each tasklet's issued instructions.
+
+        Implements the 11-cycle hazard rule: with T >= 11 busy tasklets the
+        pipeline retires one instruction per cycle; below that each tasklet
+        can issue at most once per 11 cycles.
+        """
+        counts = list(per_tasklet_instructions)
+        if not counts:
+            return 0.0
+        total = float(sum(counts))
+        bound = self.pipeline_depth * float(max(counts))
+        return self.cycles_to_seconds(max(total, bound))
+
+    def dma_time(self, nr_ops: int, total_bytes: int) -> float:
+        """MRAM<->WRAM DMA time for ``nr_ops`` transfers of ``total_bytes``."""
+        cycles = nr_ops * self.dma_setup_cycles + total_bytes * self.dma_cycles_per_byte
+        return self.cycles_to_seconds(cycles)
+
+    def rank_transfer_time(self, total_bytes: int) -> float:
+        """Bulk host<->rank copy time (excluding interleave CPU work)."""
+        return self.rank_op_fixed + total_bytes / self.rank_xfer_bandwidth
+
+    def interleave_time(self, total_bytes: int, rust: bool = False) -> float:
+        """CPU time spent byte-interleaving ``total_bytes``."""
+        bw = self.interleave_bw_c / (self.rust_slowdown if rust else 1.0)
+        return total_bytes / bw
+
+    def transition_roundtrip(self) -> float:
+        """One full guest->VMM->guest transition (kick, dispatch, IRQ)."""
+        return self.vmexit_cost + self.event_dispatch_cost + self.irq_inject_cost
+
+    def pages_of(self, nr_bytes: int) -> int:
+        return (nr_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        """Return a copy with selected constants replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+#: The default, calibrated model used throughout the library.
+DEFAULT_COST_MODEL = CostModel()

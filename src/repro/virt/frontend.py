@@ -1,0 +1,412 @@
+"""The vUPMEM frontend: the virtio driver in the guest kernel (Section 4.1).
+
+The frontend exposes a device file to the guest userspace (the SDK's safe
+mode) and forwards requests to the backend over the transferq.  It hosts
+the two message-count optimizations:
+
+- **Prefetch cache** — 16 pages per DPU.  A read smaller than the cache
+  is served locally when the cached segment covers it; a miss fetches a
+  cache-sized segment per DPU in one request.  The cache is invalidated
+  by writes, launches, CI operations, and rank release.
+- **Request batching** — 64 pages per DPU.  Small MRAM writes accumulate
+  in a batch buffer and flush collectively (one message) when the buffer
+  fills or any non-write request arrives.
+
+Every request the frontend actually sends costs one guest->VMM->guest
+transition; the whole point of both optimizations is to send fewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import MRAM_HEAP_SYMBOL, MRAM_SIZE, PAGE_SIZE
+from repro.errors import TransferError
+from repro.hardware.timing import CostModel
+from repro.sdk.kernel import DpuProgram
+from repro.sdk.profile import OP_CI, OP_READ, OP_WRITE, Profiler
+from repro.sdk.transfer import Target, TransferMatrix, XferKind, DpuEntry
+from repro.virt.backend import BackendResult, BatchRecord, VUpmemBackend
+from repro.virt.guest_memory import GuestMemory
+from repro.virt.kvm import Kvm
+from repro.virt.opts import OptimizationConfig
+from repro.virt.mmio import MmioWindow, Reg, driver_init_sequence
+from repro.virt.serialization import (
+    RequestHeader,
+    RequestKind,
+    SerializedRequest,
+    serialize_matrix,
+)
+from repro.virt.virtio import UsedElement, VirtioPimQueues, write_buffer
+
+#: Writes at or below this per-DPU size are candidates for batching.
+SMALL_WRITE_BYTES = PAGE_SIZE
+
+#: Modeled size of a Linux ``struct page`` (frontend memory accounting).
+PAGE_STRUCT_BYTES = 64
+
+
+class PrefetchCache:
+    """Per-DPU read cache of one contiguous MRAM segment each."""
+
+    def __init__(self, pages_per_dpu: int) -> None:
+        self.capacity = pages_per_dpu * PAGE_SIZE
+        self._lines: Dict[int, Tuple[int, np.ndarray]] = {}
+
+    def lookup(self, dpu_index: int, offset: int, size: int,
+               ) -> Optional[np.ndarray]:
+        line = self._lines.get(dpu_index)
+        if line is None:
+            return None
+        start, data = line
+        if start <= offset and offset + size <= start + data.size:
+            rel = offset - start
+            return data[rel:rel + size].copy()
+        return None
+
+    def fill(self, dpu_index: int, start: int, data: np.ndarray) -> None:
+        if data.size > self.capacity:
+            raise TransferError(
+                f"prefetch fill of {data.size} bytes exceeds the "
+                f"{self.capacity}-byte cache line"
+            )
+        self._lines[dpu_index] = (start, data)
+
+    def invalidate(self) -> None:
+        self._lines.clear()
+
+    @property
+    def nr_lines(self) -> int:
+        return len(self._lines)
+
+
+class BatchBuffer:
+    """Per-DPU accumulation buffer for small MRAM writes."""
+
+    def __init__(self, pages_per_dpu: int) -> None:
+        self.capacity = pages_per_dpu * PAGE_SIZE
+        self.records: List[BatchRecord] = []
+        self._used: Dict[int, int] = {}
+
+    def fits(self, matrix: TransferMatrix) -> bool:
+        for entry in matrix.entries:
+            if self._used.get(entry.dpu_index, 0) + entry.size > self.capacity:
+                return False
+        return True
+
+    def add(self, matrix: TransferMatrix) -> int:
+        """Buffer the matrix's entries; returns the bytes copied."""
+        total = 0
+        for entry in matrix.entries:
+            self.records.append(BatchRecord(
+                dpu_index=entry.dpu_index, offset=matrix.offset,
+                data=entry.data.copy(),
+            ))
+            self._used[entry.dpu_index] = (
+                self._used.get(entry.dpu_index, 0) + entry.size)
+            total += entry.size
+        return total
+
+    def drain(self) -> List[BatchRecord]:
+        records = self.records
+        self.records = []
+        self._used = {}
+        return records
+
+    @property
+    def empty(self) -> bool:
+        return not self.records
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(self._used.values())
+
+
+class VUpmemFrontend:
+    """The guest-side driver of one vUPMEM device."""
+
+    def __init__(self, device_id: str, queues: VirtioPimQueues,
+                 memory: GuestMemory, backend: VUpmemBackend, kvm: Kvm,
+                 opts: OptimizationConfig, cost: CostModel,
+                 profiler: Profiler,
+                 mmio: Optional[MmioWindow] = None) -> None:
+        self.device_id = device_id
+        self.queues = queues
+        self.memory = memory
+        self.backend = backend
+        self.kvm = kvm
+        self.opts = opts
+        self.cost = cost
+        self.profiler = profiler
+        self.cache = PrefetchCache(opts.prefetch_pages_per_dpu)
+        self.batch = BatchBuffer(opts.batch_pages_per_dpu)
+        self.device_config: Optional[dict] = None
+        self.mmio = mmio or MmioWindow(base_address=0xD000_0000, irq=5)
+
+    # -- core message path --------------------------------------------------
+
+    def _roundtrip(self, header: RequestHeader,
+                   matrix: Optional[TransferMatrix] = None,
+                   program: Optional[DpuProgram] = None,
+                   batch_records: Optional[List[BatchRecord]] = None,
+                   extra_pages: int = 0,
+                   ) -> Tuple[BackendResult, float, Optional[SerializedRequest]]:
+        """Send one request through the transferq; returns the backend
+        result, the total frontend+VMM duration, and the serialized form."""
+        page_time = ser_time = 0.0
+        sreq: Optional[SerializedRequest] = None
+        if matrix is not None:
+            sreq = serialize_matrix(header, matrix, self.memory)
+            pages = sreq.total_pages + extra_pages
+            page_time = pages * self.cost.page_mgmt_per_page
+            ser_time = pages * self.cost.serialize_per_page
+            chain = sreq.chain
+        else:
+            pages = extra_pages
+            page_time = pages * self.cost.page_mgmt_per_page
+            ser_time = pages * self.cost.serialize_per_page
+            chain = [write_buffer(self.memory, header.pack())]
+
+        request_id = self.queues.transferq.add_chain(chain)
+        self.queues.transferq.kick()
+        self.mmio.write(Reg.QUEUE_NOTIFY, 0)   # trapped MMIO write
+        if self.opts.vhost_vsock:
+            # vhost-style path (Section 7 extension): the request is
+            # handled in the host kernel without waking the Firecracker
+            # event loop, saving the dispatch hop on every message.
+            int_time = self.kvm.trap()
+        else:
+            int_time = self.kvm.trap() + self.cost.event_dispatch_cost
+
+        # The device takes the chain before processing; on failure it still
+        # completes the request (with an error status) so the queue never
+        # wedges.
+        popped = self.queues.transferq.pop_avail()
+        assert popped is not None and popped[0] == request_id
+        try:
+            result = self.backend.process(chain, program=program,
+                                          batch_records=batch_records)
+        except Exception:
+            self.queues.transferq.push_used(
+                UsedElement(request_id=request_id, status=1))
+            self.queues.transferq.pop_used()
+            self.kvm.inject_irq()
+            raise
+
+        irq_time = self.kvm.inject_irq()
+        self.mmio.raise_interrupt()
+        self.queues.transferq.push_used(UsedElement(request_id=request_id))
+        self.queues.transferq.pop_used()
+        self.mmio.write(Reg.INTERRUPT_ACK, 1)
+
+        self.profiler.messages.requests += 1
+        duration = page_time + ser_time + int_time + result.duration + irq_time
+
+        if header.kind is RequestKind.WRITE_RANK:
+            self.profiler.record_wrank_step("Page", page_time)
+            self.profiler.record_wrank_step("Ser", ser_time)
+            self.profiler.record_wrank_step("Int", int_time + irq_time)
+            for step, value in result.steps.items():
+                self.profiler.record_wrank_step(step, value)
+        return result, duration, sreq
+
+    # -- device initialization (Section 3.2) ------------------------------------
+
+    def initialize(self) -> float:
+        """Configure virtio, fetch device attributes, expose /dev node.
+
+        Follows the Appendix's initialization order: the MMIO status
+        handshake (ACKNOWLEDGE -> DRIVER -> FEATURES_OK -> queue setup ->
+        DRIVER_OK) must complete before the first request is sent.
+        """
+        driver_init_sequence(self.mmio)
+        result, duration, _ = self._roundtrip(
+            RequestHeader(kind=RequestKind.GET_CONFIG))
+        config = result.payload
+        self._notify_manager(linked=True)
+        self.device_config = {
+            "frequency_hz": config.frequency_hz,
+            "clock_division": config.clock_division,
+            "mram_bytes": config.mram_bytes,
+            "nr_dpus": config.nr_dpus,
+            "nr_control_interfaces": config.nr_control_interfaces,
+            "power_management": config.power_management,
+        }
+        return duration
+
+    # -- batching ---------------------------------------------------------------
+
+    def _flush_batch(self) -> float:
+        """Send all buffered writes as one collective message."""
+        if self.batch.empty:
+            return 0.0
+        records = self.batch.drain()
+        # One wire entry per DPU carrying that DPU's buffered bytes.
+        per_dpu: Dict[int, List[BatchRecord]] = {}
+        for record in records:
+            per_dpu.setdefault(record.dpu_index, []).append(record)
+        entries = []
+        for dpu_index, recs in sorted(per_dpu.items()):
+            blob = np.concatenate([r.data for r in recs])
+            entries.append(DpuEntry(dpu_index=dpu_index, size=blob.size,
+                                    data=blob))
+        matrix = TransferMatrix(XferKind.TO_DPU, MRAM_HEAP_SYMBOL, 0, entries)
+        header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=0,
+                               symbol=MRAM_HEAP_SYMBOL)
+        _, duration, _ = self._roundtrip(header, matrix=matrix,
+                                         batch_records=records)
+        self.profiler.record_op(OP_WRITE, duration)
+        return duration
+
+    # -- SDK-visible operations ----------------------------------------------------
+
+    def write(self, matrix: TransferMatrix) -> float:
+        """write-to-rank, possibly absorbed by the batch buffer."""
+        self.cache.invalidate()
+        small = (matrix.target is Target.MRAM
+                 and matrix.max_entry_bytes <= SMALL_WRITE_BYTES)
+        if self.opts.request_batching and small:
+            flush_time = 0.0
+            if not self.batch.fits(matrix):
+                flush_time = self._flush_batch()
+            copied = self.batch.add(matrix)
+            copy_time = (copied / self.cost.guest_copy_bandwidth
+                         + 0.3e-6 * len(matrix.entries))
+            self.profiler.messages.batched_writes += len(matrix.entries)
+            self.profiler.record_op(OP_WRITE, copy_time)
+            return flush_time + copy_time
+
+        duration = self._flush_batch()
+        header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                               offset=matrix.offset, symbol=matrix.symbol)
+        _, rt, _ = self._roundtrip(header, matrix=matrix)
+        self.profiler.record_op(OP_WRITE, rt)
+        return duration + rt
+
+    def read(self, matrix: TransferMatrix) -> Tuple[List[np.ndarray], float]:
+        """read-from-rank, possibly served by the prefetch cache."""
+        duration = self._flush_batch()
+
+        cacheable = (self.opts.prefetch_cache
+                     and matrix.target is Target.MRAM
+                     and all(e.size <= self.cache.capacity
+                             for e in matrix.entries))
+        if cacheable:
+            hits = [self.cache.lookup(e.dpu_index, matrix.offset, e.size)
+                    for e in matrix.entries]
+            if all(h is not None for h in hits):
+                copy_bytes = sum(e.size for e in matrix.entries)
+                serve = (copy_bytes / self.cost.guest_copy_bandwidth
+                         + 0.3e-6 * len(matrix.entries))
+                self.profiler.messages.cache_hits += len(matrix.entries)
+                self.profiler.record_op(OP_READ, serve)
+                return [h for h in hits if h is not None], duration + serve
+
+            # Miss: fetch a cache-sized segment per DPU in one request.
+            seg_len = min(self.cache.capacity, MRAM_SIZE - matrix.offset)
+            refill_entries = [DpuEntry(dpu_index=e.dpu_index, size=seg_len)
+                              for e in matrix.entries]
+            refill = TransferMatrix(XferKind.FROM_DPU, matrix.symbol,
+                                    matrix.offset, refill_entries)
+            header = RequestHeader(kind=RequestKind.READ_RANK,
+                                   offset=matrix.offset, symbol=matrix.symbol)
+            _, rt, sreq = self._roundtrip(header, matrix=refill)
+            assert sreq is not None
+            for (dpu_index, size, gpa) in sreq.data_descriptors:
+                data = self.memory.read(gpa, size)
+                self.cache.fill(dpu_index, matrix.offset, data)
+            self.profiler.messages.cache_refills += len(matrix.entries)
+            buffers = []
+            for entry in matrix.entries:
+                hit = self.cache.lookup(entry.dpu_index, matrix.offset,
+                                        entry.size)
+                assert hit is not None
+                buffers.append(hit)
+            self.profiler.record_op(OP_READ, rt)
+            return buffers, duration + rt
+
+        header = RequestHeader(kind=RequestKind.READ_RANK,
+                               offset=matrix.offset, symbol=matrix.symbol)
+        _, rt, sreq = self._roundtrip(header, matrix=matrix)
+        assert sreq is not None
+        buffers = [self.memory.read(gpa, size)
+                   for (_dpu, size, gpa) in sreq.data_descriptors]
+        self.profiler.record_op(OP_READ, rt)
+        return buffers, duration + rt
+
+    def load(self, program: DpuProgram) -> float:
+        duration = self._flush_batch()
+        self.cache.invalidate()
+        binary_pages = (program.binary_size + PAGE_SIZE - 1) // PAGE_SIZE
+        header = RequestHeader(kind=RequestKind.LOAD,
+                               program_name=program.name)
+        _, rt, _ = self._roundtrip(header, program=program,
+                                   extra_pages=binary_pages)
+        return duration + rt
+
+    def launch(self) -> float:
+        duration = self._flush_batch()
+        self.cache.invalidate()
+        header = RequestHeader(kind=RequestKind.LAUNCH)
+        _, rt, _ = self._roundtrip(header)
+        return duration + rt
+
+    def ci_ops(self, count: int) -> float:
+        """Synchronous control-interface traffic: one message per op.
+
+        CI operations are latency-bound control exchanges; neither
+        batching nor prefetching applies, so each op pays the full
+        transition round trip — the paper's dominant overhead source for
+        CI-heavy workloads like the checksum microbenchmark.
+        """
+        duration = self._flush_batch()
+        self.cache.invalidate()
+        per_op = self.cost.ci_virt_roundtrip + self.cost.ci_op_native
+        if self.opts.vhost_vsock:
+            # The in-kernel path halves the synchronous CI round trip.
+            per_op = self.cost.ci_virt_roundtrip / 2 + self.cost.ci_op_native
+        # Run a small number of real round trips through the queue
+        # machinery, then account the rest arithmetically (the wire format
+        # is identical for every op).
+        real = min(count, 8)
+        for _ in range(real):
+            header = RequestHeader(kind=RequestKind.CI_OP, count=1)
+            self._roundtrip(header)
+        if count > real:
+            self.backend._require_mapping().ci_ops(count - real)
+            self.kvm.stats.vmexits += count - real
+            self.kvm.stats.irq_injections += count - real
+            self.profiler.messages.requests += count - real
+        total = duration + count * per_op
+        self.profiler.record_op(OP_CI, count * per_op, count=count)
+        return total
+
+    def _notify_manager(self, linked: bool) -> None:
+        """Post a manager-sync boolean on the controlq (Appendix A.1)."""
+        flag = np.array([1 if linked else 0], dtype=np.uint8)
+        self.queues.controlq.add_chain([write_buffer(self.memory, flag)])
+        self.queues.controlq.kick()
+        self.queues.controlq.pop_avail()
+
+    def release(self) -> float:
+        duration = self._flush_batch()
+        self.cache.invalidate()
+        header = RequestHeader(kind=RequestKind.RELEASE)
+        _, rt, _ = self._roundtrip(header)
+        self._notify_manager(linked=False)
+        return duration + rt
+
+    # -- memory accounting (Section 4.1 "Memory Overhead") ----------------------------
+
+    def max_memory_overhead_per_dpu(self) -> int:
+        """Worst-case extra frontend memory per DPU, in bytes.
+
+        16384 page structs (a full 64 MB MRAM transfer) + the prefetch
+        cache + the batch buffer = 1.37 MB, matching the paper's figure.
+        """
+        max_pages = MRAM_SIZE // PAGE_SIZE
+        return (max_pages * PAGE_STRUCT_BYTES
+                + self.opts.prefetch_pages_per_dpu * PAGE_SIZE
+                + self.opts.batch_pages_per_dpu * PAGE_SIZE)

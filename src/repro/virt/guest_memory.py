@@ -1,0 +1,108 @@
+"""Guest physical memory and GPA->HVA translation.
+
+Firecracker maps the whole VM memory into its own address space, so every
+guest physical address (GPA) corresponds to a host virtual address (HVA)
+at a fixed offset.  The frontend serializes transfer matrices as arrays
+of GPAs; the backend translates them to HVAs to reach the pages without
+copying (Section 4.2 "Zero-copy Request Handling").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import PAGE_SIZE
+from repro.errors import TranslationError
+from repro.hardware.memory import MemoryRegion
+
+#: Host virtual address at which guest physical page 0 is mapped.
+HVA_BASE = 0x7F00_0000_0000
+
+
+class GuestMemory:
+    """The VM's physical address space plus a bump page allocator.
+
+    The allocator hands out contiguous page runs from a rolling arena;
+    requests are synchronous, so pages can be recycled once the arena
+    wraps (the guest driver reuses its DMA area the same way).
+    """
+
+    def __init__(self, size: int, arena_bytes: int = 512 << 20) -> None:
+        self.size = size
+        self.region = MemoryRegion(size, name="guest-ram")
+        self._arena_start = 1 << 20  # leave the first MiB alone (BIOS area)
+        self._arena_bytes = min(arena_bytes, size - self._arena_start)
+        self._arena_cursor = 0
+
+    # -- page allocation ------------------------------------------------------
+
+    def alloc_pages(self, nr_pages: int) -> int:
+        """Return the GPA of a fresh run of ``nr_pages`` contiguous pages."""
+        need = nr_pages * PAGE_SIZE
+        if need > self._arena_bytes:
+            raise TranslationError(
+                f"request for {nr_pages} pages exceeds the "
+                f"{self._arena_bytes}-byte DMA arena"
+            )
+        if self._arena_cursor + need > self._arena_bytes:
+            self._arena_cursor = 0  # wrap: previous requests have completed
+        gpa = self._arena_start + self._arena_cursor
+        self._arena_cursor += need
+        return gpa
+
+    # -- data access ------------------------------------------------------------
+
+    def write(self, gpa: int, data: np.ndarray) -> None:
+        self.region.write(gpa, data)
+
+    def read(self, gpa: int, length: int) -> np.ndarray:
+        return self.region.read(gpa, length)
+
+    # -- translation ---------------------------------------------------------------
+
+    def gpa_to_hva(self, gpa: int) -> int:
+        """Translate one GPA; raises on out-of-range addresses."""
+        if not 0 <= gpa < self.size:
+            raise TranslationError(
+                f"GPA {gpa:#x} outside guest memory of {self.size} bytes"
+            )
+        return HVA_BASE + gpa
+
+    def hva_to_gpa(self, hva: int) -> int:
+        gpa = hva - HVA_BASE
+        if not 0 <= gpa < self.size:
+            raise TranslationError(f"HVA {hva:#x} does not map into the guest")
+        return gpa
+
+    def translate_pages(self, gpas: np.ndarray) -> np.ndarray:
+        """Vectorized GPA->HVA for a page buffer (u64 array)."""
+        arr = np.asarray(gpas, dtype=np.uint64)
+        if arr.size and (int(arr.max()) >= self.size):
+            bad = int(arr.max())
+            raise TranslationError(
+                f"GPA {bad:#x} outside guest memory of {self.size} bytes"
+            )
+        return arr + np.uint64(HVA_BASE)
+
+    # -- contiguity helper ---------------------------------------------------------
+
+    @staticmethod
+    def contiguous_runs(gpas: np.ndarray) -> List[Tuple[int, int]]:
+        """Split a page-GPA array into (start_gpa, nr_pages) contiguous runs.
+
+        The backend uses this to gather page data with bulk copies instead
+        of page-by-page loops — the simulator-level analogue of the
+        scatter-gather the real backend performs.
+        """
+        arr = np.asarray(gpas, dtype=np.uint64)
+        if arr.size == 0:
+            return []
+        breaks = np.nonzero(np.diff(arr) != PAGE_SIZE)[0] + 1
+        runs = []
+        start = 0
+        for b in list(breaks) + [arr.size]:
+            runs.append((int(arr[start]), b - start))
+            start = b
+        return runs

@@ -1,0 +1,273 @@
+"""The vPIM Manager: host-wide rank arbitration (Section 3.5, Fig. 5).
+
+One manager runs per host.  It maintains a *rank table* tracking every
+rank's index, status-file location, assigned vUPMEM device and state:
+
+- ``ALLO`` — allocated to a VM (or a native application);
+- ``NAAV`` — not allocated, available;
+- ``NANA`` — not allocated, not available: released and undergoing the
+  memory reset that guarantees isolation between tenants.
+
+Allocation policy (paper order):
+
+1. a NANA rank previously used by the requester is handed back without
+   reset (no leak: it is the requester's own data);
+2. otherwise a NAAV rank, chosen round-robin;
+3. otherwise, if NANA ranks exist, wait for the earliest reset to finish;
+4. otherwise retry after a timeout, a configurable number of times, then
+   abandon the request.
+
+Releases are *not* signalled by VMs: a dedicated observer watches the
+driver's sysfs status files, so native host applications and VMs coexist
+without modification (requirement R3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MANAGER_POOL_THREADS
+from repro.errors import ManagerError
+from repro.driver.driver import UpmemDriver
+from repro.hardware.clock import SimClock
+from repro.hardware.machine import Machine
+from repro.hardware.timing import CostModel
+
+
+class RankState(enum.Enum):
+    ALLO = "ALLO"   #: in use
+    NAAV = "NAAV"   #: not allocated, available
+    NANA = "NANA"   #: not allocated, not available (reset in progress)
+
+
+@dataclass
+class RankRecord:
+    """One row of the manager's rank table."""
+
+    rank_index: int
+    status_file: str
+    state: RankState = RankState.NAAV
+    assigned_device: Optional[str] = None
+    last_owner: Optional[str] = None
+    reset_done_at: float = 0.0
+
+
+@dataclass
+class ManagerStats:
+    allocations: int = 0
+    nana_reuses: int = 0
+    resets: int = 0
+    waits: int = 0
+    abandoned: int = 0
+    emulated_allocations: int = 0
+
+
+class Manager:
+    """The userspace manager daemon."""
+
+    #: Selectable NAAV-allocation policies.  The paper's prototype uses
+    #: round-robin over the rank table; ``first_fit`` always picks the
+    #: lowest free index (densest packing, lets high ranks idle), and
+    #: ``coldest`` picks the rank that has been free the longest
+    #: (wear/thermal levelling across DIMMs).
+    POLICIES = ("round_robin", "first_fit", "coldest")
+
+    def __init__(self, machine: Machine, driver: UpmemDriver,
+                 pool_threads: int = MANAGER_POOL_THREADS,
+                 max_attempts: int = 5,
+                 oversubscription: bool = False,
+                 emulation_slowdown: float = 20.0,
+                 policy: str = "round_robin") -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown allocation policy {policy!r}; "
+                f"choose from {self.POLICIES}"
+            )
+        self.machine = machine
+        self.driver = driver
+        self.clock: SimClock = machine.clock
+        self.cost: CostModel = machine.cost
+        self.pool_threads = pool_threads
+        self.max_attempts = max_attempts
+        self.policy = policy
+        self.stats = ManagerStats()
+        self._rr_cursor = 0
+        self._freed_at: Dict[int, float] = {}
+        #: Section 7 extension: hand out software-emulated ranks when the
+        #: physical ones are exhausted, at reduced performance.
+        self.oversubscription = oversubscription
+        self.emulated_pool = None
+        if oversubscription:
+            from repro.virt.emulation import EmulatedRankPool
+            self.emulated_pool = EmulatedRankPool(machine,
+                                                  slowdown=emulation_slowdown)
+            driver.emulated_pool = self.emulated_pool
+        self.rank_table: Dict[int, RankRecord] = {
+            rank.index: RankRecord(
+                rank_index=rank.index,
+                status_file=driver.sysfs.rank_status_path(rank.index),
+            )
+            for rank in machine.ranks
+        }
+        driver.sysfs.subscribe(self._on_sysfs_write)
+
+    # -- observer thread --------------------------------------------------------
+
+    def _on_sysfs_write(self, path: str, content: str) -> None:
+        """The observer: react to driver status-file changes."""
+        for record in self.rank_table.values():
+            if record.status_file != path:
+                continue
+            if content.startswith("busy"):
+                # A native application (or a backend we told to map) took
+                # the rank; record it so VMs cannot double-allocate.
+                if record.state is not RankState.ALLO:
+                    record.state = RankState.ALLO
+                    owner = content.split(":", 1)[1] if ":" in content else ""
+                    record.assigned_device = owner or record.assigned_device
+            else:
+                if record.state is RankState.ALLO:
+                    self._begin_release(record)
+            return
+
+    def _begin_release(self, record: RankRecord) -> None:
+        """Rank released: enter NANA and schedule the isolation reset."""
+        if (self.emulated_pool is not None
+                and self.emulated_pool.is_emulated(record.rank_index)):
+            # Emulated ranks are destroyed, not reset: the host memory is
+            # simply freed, and nothing remains to leak.
+            self.emulated_pool.destroy(record.rank_index)
+            del self.rank_table[record.rank_index]
+            return
+        record.last_owner = record.assigned_device
+        record.assigned_device = None
+        record.state = RankState.NANA
+        # Detection latency of the observer plus the memset of the rank.
+        record.reset_done_at = (self.clock.now
+                                + self.cost.manager_observe_period
+                                + self.cost.manager_reset)
+        self.stats.resets += 1
+
+    def _settle(self, record: RankRecord) -> None:
+        """Complete a finished reset: NANA -> NAAV with zeroed memory."""
+        if (record.state is RankState.NANA
+                and self.clock.now >= record.reset_done_at):
+            self.machine.rank(record.rank_index).reset()
+            record.state = RankState.NAAV
+            self._freed_at[record.rank_index] = record.reset_done_at
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(self, requester: str) -> int:
+        """Allocate a rank to ``requester`` (a vUPMEM device id).
+
+        Advances the simulated clock by the allocation cost (and any wait
+        for pending resets).  Returns the physical rank index; raises
+        :class:`ManagerError` after ``max_attempts`` fruitless retries.
+        """
+        for _attempt in range(self.max_attempts):
+            for record in self.rank_table.values():
+                self._settle(record)
+
+            # 1. NANA rank previously used by this requester: no reset.
+            for record in self.rank_table.values():
+                if (record.state is RankState.NANA
+                        and record.last_owner == requester):
+                    record.state = RankState.ALLO
+                    record.assigned_device = requester
+                    self.clock.advance(self.cost.manager_alloc)
+                    self.stats.allocations += 1
+                    self.stats.nana_reuses += 1
+                    return record.rank_index
+
+            # 2. A NAAV rank, by the configured policy.
+            idx = self._pick_naav()
+            if idx is not None:
+                record = self.rank_table[idx]
+                record.state = RankState.ALLO
+                record.assigned_device = requester
+                record.last_owner = requester
+                self.clock.advance(self.cost.manager_alloc)
+                self.stats.allocations += 1
+                return record.rank_index
+
+            # 3. Wait for the earliest NANA reset to complete.
+            nana = [r for r in self.rank_table.values()
+                    if r.state is RankState.NANA]
+            if nana:
+                earliest = min(r.reset_done_at for r in nana)
+                self.clock.advance_to(earliest)
+                self.stats.waits += 1
+                continue
+
+            # 4. Oversubscription (Section 7 extension): no physical rank
+            # will free up; hand out an emulated one at reduced speed.
+            if self.emulated_pool is not None:
+                rank = self.emulated_pool.create()
+                self.rank_table[rank.index] = RankRecord(
+                    rank_index=rank.index,
+                    status_file=self.driver.sysfs.rank_status_path(rank.index),
+                    state=RankState.ALLO,
+                    assigned_device=requester,
+                    last_owner=requester,
+                )
+                # No sysfs write yet: the backend's claim will mark it
+                # busy; a "free" write would look like an instant release.
+                self.clock.advance(self.cost.manager_alloc)
+                self.stats.allocations += 1
+                self.stats.emulated_allocations += 1
+                return rank.index
+
+            # 5. Nothing at all: retry after the configured timeout.
+            self.clock.advance(self.cost.manager_retry_timeout)
+            self.stats.waits += 1
+
+        self.stats.abandoned += 1
+        raise ManagerError(
+            f"no rank available for {requester!r} after "
+            f"{self.max_attempts} attempts"
+        )
+
+    def _pick_naav(self) -> Optional[int]:
+        """Choose an available rank per the allocation policy."""
+        free = [idx for idx, rec in sorted(self.rank_table.items())
+                if rec.state is RankState.NAAV]
+        if not free:
+            return None
+        if self.policy == "first_fit":
+            return free[0]
+        if self.policy == "coldest":
+            return min(free, key=lambda idx: self._freed_at.get(idx, 0.0))
+        # round_robin (the paper's prototype behaviour)
+        indices = sorted(self.rank_table)
+        for step in range(len(indices)):
+            idx = indices[(self._rr_cursor + step) % len(indices)]
+            if idx in free:
+                self._rr_cursor = (indices.index(idx) + 1) % len(indices)
+                return idx
+        return None
+
+    # -- modeled resource usage (Section 4.2 "Manager's Overhead") -----------------
+
+    def idle_cpu_utilization(self) -> float:
+        """Idle manager CPU share, dominated by the observer thread."""
+        return 0.40
+
+    def reset_cpu_utilization(self, concurrent_resets: int = 1) -> float:
+        """CPU share while resetting; memset of 8 GB peaks at ~92%."""
+        if concurrent_resets <= 0:
+            return self.idle_cpu_utilization()
+        return min(0.92, 0.40 + 0.065 * concurrent_resets * 8)
+
+    # -- introspection ------------------------------------------------------------
+
+    def states(self) -> Dict[int, RankState]:
+        for record in self.rank_table.values():
+            self._settle(record)
+        return {idx: rec.state for idx, rec in self.rank_table.items()}
+
+    def available_ranks(self) -> List[int]:
+        return [idx for idx, state in self.states().items()
+                if state is RankState.NAAV]

@@ -1,0 +1,222 @@
+"""The transfer-matrix wire format (Figs. 6 and 7).
+
+The frontend cannot hand Linux ``struct page`` pointers to Firecracker —
+they are meaningless outside the guest — so the matrix is serialized into
+two buffer types (Section 4.1 "Data Transfer"):
+
+- **metadata buffers**: 64-bit integer arrays describing the whole matrix
+  and each DPU's slice (size, offset, page count);
+- **page buffers**: 64-bit arrays of Guest Physical Addresses, one entry
+  per data page, letting Firecracker reach the pages with no copy.
+
+Layout in the virtqueue (Fig. 7)::
+
+    [request info][matrix meta][dpu0 meta][dpu0 pages][dpu1 meta]...
+
+which is at most 2 + 2*64 = 130 buffers for a full 64-DPU rank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.config import PAGE_SIZE
+from repro.errors import SerializationError
+from repro.sdk.transfer import TransferMatrix, XferKind
+from repro.virt.guest_memory import GuestMemory
+from repro.virt.virtio import Descriptor, write_buffer
+
+
+class RequestKind(enum.IntEnum):
+    """Operation codes of the virtio-pim device (Appendix A.1)."""
+
+    GET_CONFIG = 0
+    LOAD = 1
+    WRITE_RANK = 2
+    READ_RANK = 3
+    LAUNCH = 4
+    CI_OP = 5
+    RELEASE = 6
+
+
+_KIND_TO_XFER = {
+    RequestKind.WRITE_RANK: XferKind.TO_DPU,
+    RequestKind.READ_RANK: XferKind.FROM_DPU,
+}
+
+
+@dataclass
+class RequestHeader:
+    """The request-info buffer: op code plus addressing information."""
+
+    kind: RequestKind
+    offset: int = 0
+    count: int = 0                 #: CI op count (CI_OP requests)
+    symbol: str = ""
+    program_name: str = ""         #: LOAD requests
+
+    def pack(self) -> np.ndarray:
+        sym = self.symbol.encode("utf-8")
+        prog = self.program_name.encode("utf-8")
+        head = np.array([int(self.kind), self.offset, self.count,
+                         len(sym), len(prog)], dtype=np.uint64)
+        payload = np.frombuffer(sym + prog, dtype=np.uint8)
+        return np.concatenate([head.view(np.uint8), payload])
+
+    @classmethod
+    def unpack(cls, raw: np.ndarray) -> "RequestHeader":
+        if raw.size < 40:
+            raise SerializationError(
+                f"request header of {raw.size} bytes is too short"
+            )
+        head = raw[:40].view(np.uint64)
+        sym_len, prog_len = int(head[3]), int(head[4])
+        tail = raw[40:40 + sym_len + prog_len].tobytes()
+        try:
+            kind = RequestKind(int(head[0]))
+        except ValueError:
+            raise SerializationError(f"unknown request kind {int(head[0])}")
+        return cls(
+            kind=kind,
+            offset=int(head[1]),
+            count=int(head[2]),
+            symbol=tail[:sym_len].decode("utf-8"),
+            program_name=tail[sym_len:sym_len + prog_len].decode("utf-8"),
+        )
+
+
+@dataclass
+class SerializedEntry:
+    """One DPU's slice after deserialization: metadata + page GPAs."""
+
+    dpu_index: int
+    size: int
+    page_gpas: np.ndarray
+
+
+@dataclass
+class SerializedRequest:
+    """A fully assembled descriptor chain plus accounting."""
+
+    header: RequestHeader
+    chain: List[Descriptor]
+    total_pages: int = 0
+    data_descriptors: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: ``data_descriptors[i]`` = (dpu_index, size, first page GPA) for reads.
+
+
+def _entry_pages(size: int) -> int:
+    return max(1, (size + PAGE_SIZE - 1) // PAGE_SIZE)
+
+
+def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
+                     memory: GuestMemory) -> SerializedRequest:
+    """Serialize ``matrix`` into guest memory and build the chain.
+
+    For writes, the payload is placed into guest pages and referenced by
+    GPA (zero-copy hand-off).  For reads, destination pages are allocated
+    so the backend can deposit results directly into guest memory.
+    """
+    chain: List[Descriptor] = [write_buffer(memory, header.pack())]
+    matrix_meta = np.array(
+        [len(matrix.entries), matrix.offset, int(matrix.kind is XferKind.TO_DPU)],
+        dtype=np.uint64,
+    )
+    chain.append(write_buffer(memory, matrix_meta))
+
+    total_pages = 0
+    data_descriptors: List[Tuple[int, int, int]] = []
+    for entry in matrix.entries:
+        nr_pages = _entry_pages(entry.size)
+        total_pages += nr_pages
+        entry_meta = np.array([entry.dpu_index, entry.size, nr_pages],
+                              dtype=np.uint64)
+        chain.append(write_buffer(memory, entry_meta))
+        if matrix.kind is XferKind.TO_DPU:
+            gpa = memory.alloc_pages(nr_pages)
+            memory.write(gpa, entry.data)
+            writable = False
+        else:
+            gpa = memory.alloc_pages(nr_pages)
+            writable = True
+        page_gpas = (np.arange(nr_pages, dtype=np.uint64) * PAGE_SIZE
+                     + np.uint64(gpa))
+        chain.append(write_buffer(memory, page_gpas, device_writable=writable))
+        data_descriptors.append((entry.dpu_index, entry.size, gpa))
+
+    return SerializedRequest(header=header, chain=chain,
+                             total_pages=total_pages,
+                             data_descriptors=data_descriptors)
+
+
+def deserialize_request(chain: List[Descriptor], memory: GuestMemory,
+                        ) -> Tuple[RequestHeader, List[SerializedEntry]]:
+    """Backend side: rebuild the header and entry list from a chain."""
+    if not chain:
+        raise SerializationError("empty descriptor chain")
+    header = RequestHeader.unpack(memory.read(chain[0].gpa, chain[0].length))
+    if len(chain) == 1:
+        return header, []
+    meta = memory.read(chain[1].gpa, chain[1].length).view(np.uint64)
+    nr_entries = int(meta[0])
+    expected = 2 + 2 * nr_entries
+    if len(chain) != expected:
+        raise SerializationError(
+            f"chain has {len(chain)} buffers, expected {expected} "
+            f"for {nr_entries} entries"
+        )
+    entries: List[SerializedEntry] = []
+    for i in range(nr_entries):
+        meta_desc = chain[2 + 2 * i]
+        pages_desc = chain[3 + 2 * i]
+        emeta = memory.read(meta_desc.gpa, meta_desc.length).view(np.uint64)
+        page_gpas = memory.read(pages_desc.gpa, pages_desc.length).view(np.uint64)
+        if int(emeta[2]) != page_gpas.size:
+            raise SerializationError(
+                f"entry {i}: metadata says {int(emeta[2])} pages, "
+                f"page buffer holds {page_gpas.size}"
+            )
+        entries.append(SerializedEntry(
+            dpu_index=int(emeta[0]), size=int(emeta[1]),
+            page_gpas=page_gpas.copy(),
+        ))
+    return header, entries
+
+
+def gather_entry_data(entry: SerializedEntry, memory: GuestMemory) -> np.ndarray:
+    """Collect an entry's payload from guest pages (bulk per contiguous run)."""
+    out = np.empty(entry.page_gpas.size * PAGE_SIZE, dtype=np.uint8)
+    pos = 0
+    for start, nr in GuestMemory.contiguous_runs(entry.page_gpas):
+        span = nr * PAGE_SIZE
+        out[pos:pos + span] = memory.read(start, span)
+        pos += span
+    return out[:entry.size]
+
+
+def scatter_entry_data(entry: SerializedEntry, data: np.ndarray,
+                       memory: GuestMemory) -> None:
+    """Deposit read results into the entry's guest destination pages."""
+    buf = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if buf.size != entry.size:
+        raise SerializationError(
+            f"result of {buf.size} bytes does not match entry size {entry.size}"
+        )
+    pos = 0
+    for start, nr in GuestMemory.contiguous_runs(entry.page_gpas):
+        span = min(nr * PAGE_SIZE, buf.size - pos)
+        if span <= 0:
+            break
+        memory.write(start, buf[pos:pos + span])
+        pos += span
+
+
+def xfer_kind_of(kind: RequestKind) -> XferKind:
+    try:
+        return _KIND_TO_XFER[kind]
+    except KeyError:
+        raise SerializationError(f"{kind} is not a data transfer") from None

@@ -1,0 +1,21 @@
+"""Workload generators for the PrIM applications and microbenchmarks."""
+
+from repro.workloads.generators import (
+    random_array,
+    random_matrix,
+    random_csr,
+    random_graph_csr,
+    random_image,
+    sorted_array,
+)
+from repro.workloads.wikipedia import SyntheticCorpus
+
+__all__ = [
+    "random_array",
+    "random_matrix",
+    "random_csr",
+    "random_graph_csr",
+    "random_image",
+    "sorted_array",
+    "SyntheticCorpus",
+]

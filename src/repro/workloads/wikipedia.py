@@ -1,0 +1,75 @@
+"""A synthetic stand-in for the Wikipedia subset of the Index Search app.
+
+The paper's UPMEM Index Search benchmark scans an index built over 4305
+files from the English Wikipedia, answering 445 search requests sent in
+batches of 128.  We cannot ship Wikipedia, so :class:`SyntheticCorpus`
+generates a corpus with a Zipfian vocabulary — the property that matters
+for the benchmark is the *shape* of the inverted index (a few huge
+posting lists, many small ones), which Zipfian word frequencies produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SyntheticCorpus:
+    """A document collection plus its inverted index."""
+
+    nr_documents: int = 430
+    vocabulary_size: int = 5000
+    avg_words_per_doc: int = 200
+    seed: int = 7
+    documents: List[np.ndarray] = field(default_factory=list, repr=False)
+    index: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict,
+                                                    repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        # Zipf-ish word distribution over the vocabulary.
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=np.float64)
+        probs = 1.0 / ranks
+        probs /= probs.sum()
+        for doc_id in range(self.nr_documents):
+            length = max(8, int(rng.normal(self.avg_words_per_doc,
+                                           self.avg_words_per_doc / 4)))
+            words = rng.choice(self.vocabulary_size, size=length, p=probs)
+            self.documents.append(words.astype(np.int32))
+            for pos, word in enumerate(words):
+                self.index.setdefault(int(word), []).append((doc_id, pos))
+
+    # -- flattened index for DPU distribution ---------------------------------
+
+    def postings_array(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten the index into (word_offsets, postings) int32 arrays.
+
+        ``postings`` holds (doc_id, position) pairs flattened;
+        ``word_offsets[w]`` is the pair-index where word ``w`` starts.
+        """
+        offsets = np.zeros(self.vocabulary_size + 1, dtype=np.int32)
+        chunks = []
+        for word in range(self.vocabulary_size):
+            pairs = self.index.get(word, [])
+            offsets[word + 1] = offsets[word] + len(pairs)
+            if pairs:
+                chunks.append(np.array(pairs, dtype=np.int32).reshape(-1))
+        postings = (np.concatenate(chunks) if chunks
+                    else np.empty(0, dtype=np.int32))
+        return offsets, postings
+
+    def queries(self, nr_queries: int = 445, seed: int = 11) -> np.ndarray:
+        """Search requests: word ids, biased to common words."""
+        rng = np.random.default_rng(seed)
+        ranks = np.arange(1, self.vocabulary_size + 1, dtype=np.float64)
+        probs = 1.0 / np.sqrt(ranks)
+        probs /= probs.sum()
+        return rng.choice(self.vocabulary_size, size=nr_queries,
+                          p=probs).astype(np.int32)
+
+    def search(self, word: int) -> List[Tuple[int, int]]:
+        """CPU reference: (doc_id, position) hits for ``word``."""
+        return self.index.get(int(word), [])

@@ -1,0 +1,70 @@
+"""Execution tracing and the Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace import Tracer
+from repro.apps.prim.va import VectorAdd
+from repro.config import small_machine
+from repro.core import VPim
+
+
+def test_tracer_records_and_queries():
+    tracer = Tracer()
+    tracer.record("W-rank", "op", 0.0, 0.5, count=1)
+    tracer.record("CPU-DPU", "segment", 0.0, 1.0)
+    assert len(tracer.events) == 2
+    assert len(tracer.by_category("op")) == 1
+    assert tracer.total_time("W-rank") == pytest.approx(0.5)
+    assert tracer.total_time() == pytest.approx(1.5)
+
+
+def test_tracer_event_cap():
+    tracer = Tracer(max_events=2)
+    for i in range(5):
+        tracer.record(f"e{i}", "op", i, 0.1)
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_chrome_export_format():
+    tracer = Tracer()
+    tracer.record("DPU", "segment", 0.001, 0.002, app="VA")
+    payload = json.loads(tracer.to_chrome_trace())
+    assert payload["displayTimeUnit"] == "ms"
+    event = payload["traceEvents"][0]
+    assert event["ph"] == "X"
+    assert event["ts"] == pytest.approx(1000.0)   # microseconds
+    assert event["dur"] == pytest.approx(2000.0)
+    assert event["args"]["app"] == "VA"
+
+
+def test_save_to_file(tmp_path):
+    tracer = Tracer()
+    tracer.record("x", "op", 0, 1)
+    path = tmp_path / "trace.json"
+    tracer.save(str(path))
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_traced_application_run():
+    """A full vPIM run produces a coherent timeline."""
+    vpim = VPim(small_machine(nr_ranks=1, dpus_per_rank=8))
+    session = vpim.vm_session(nr_vupmem=1)
+    tracer = Tracer()
+    session.transport.profiler.tracer = tracer
+    report = session.run(VectorAdd(nr_dpus=8, n_elements=1 << 14))
+    assert report.verified
+
+    segments = tracer.by_category("segment")
+    ops = tracer.by_category("op")
+    assert {e.name for e in segments} >= {"CPU-DPU", "DPU", "DPU-CPU"}
+    assert any(e.name == "W-rank" for e in ops)
+    # Events never run backwards and stay within the run's clock window.
+    for event in tracer.events:
+        assert event.duration >= 0
+        assert event.start >= 0
+    # Segment trace durations agree with the profiler's accounting.
+    dpu_trace = sum(e.duration for e in segments if e.name == "DPU")
+    assert dpu_trace == pytest.approx(report.segments["DPU"], rel=1e-9)

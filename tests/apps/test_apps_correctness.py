@@ -1,0 +1,79 @@
+"""Every application produces CPU-identical results on both transports.
+
+This is the paper's first evaluation claim: "All applications run
+seamlessly in the vPIM system, where the DPU computed results match
+accurately with those computed on CPUs."
+"""
+
+import pytest
+
+from repro.analysis.figures import SIZE_PROFILES
+from repro.apps.registry import ALL_APPS, app_by_short_name
+from repro.config import small_machine
+from repro.core import VPim
+
+APP_NAMES = [info.short_name for info in ALL_APPS]
+
+MICRO_PARAMS = {
+    "CHK": dict(file_mb=0.25),
+    "UPIS": dict(),
+}
+
+
+def build_app(short_name: str, nr_dpus: int):
+    params = dict(SIZE_PROFILES["test"].get(short_name,
+                                            MICRO_PARAMS.get(short_name, {})))
+    return app_by_short_name(short_name).cls(nr_dpus=nr_dpus, **params)
+
+
+@pytest.mark.parametrize("short_name", APP_NAMES)
+def test_native_results_match_cpu(short_name):
+    vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+    report = vpim.native_session().run(build_app(short_name, 8))
+    assert report.verified, f"{short_name} native result diverged from CPU"
+
+
+@pytest.mark.parametrize("short_name", APP_NAMES)
+def test_vpim_results_match_cpu(short_name):
+    vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+    report = vpim.vm_session(nr_vupmem=2).run(build_app(short_name, 8))
+    assert report.verified, f"{short_name} vPIM result diverged from CPU"
+
+
+@pytest.mark.parametrize("short_name", APP_NAMES)
+def test_multi_rank_results_match_cpu(short_name):
+    """Spanning two ranks must not scramble data placement."""
+    vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+    report = vpim.vm_session(nr_vupmem=2).run(build_app(short_name, 12))
+    assert report.verified, f"{short_name} multi-rank result diverged"
+
+
+@pytest.mark.parametrize("preset", ["vPIM-rust", "vPIM-C", "vPIM+P",
+                                    "vPIM+B", "vPIM+PB", "vPIM-Seq"])
+@pytest.mark.parametrize("short_name", ["NW", "RED", "SEL", "CHK"])
+def test_all_presets_preserve_correctness(short_name, preset):
+    """Optimizations change timing, never results (Table 2 matrix)."""
+    vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+    session = vpim.vm_session(nr_vupmem=2, preset_name=preset)
+    report = session.run(build_app(short_name, 8))
+    assert report.verified, f"{short_name} under {preset} diverged"
+
+
+@pytest.mark.parametrize("short_name", APP_NAMES)
+def test_segments_recorded(short_name):
+    vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+    report = vpim.native_session().run(build_app(short_name, 8))
+    # Every app records at least data-in and compute segments.
+    assert report.segments["CPU-DPU"] > 0
+    assert report.segments["DPU"] > 0
+    assert report.segments_total > 0
+
+
+def test_vpim_slower_than_native_overall():
+    """Virtualization never comes for free."""
+    for short_name in ("VA", "NW", "CHK"):
+        vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+        nat = vpim.native_session().run(build_app(short_name, 8))
+        vpim2 = VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+        vr = vpim2.vm_session(nr_vupmem=2).run(build_app(short_name, 8))
+        assert vr.overhead_vs(nat) > 1.0

@@ -1,0 +1,49 @@
+"""Table 1: the application inventory."""
+
+import pytest
+
+from repro.apps.base import HostApplication
+from repro.apps.registry import ALL_APPS, PRIM_APPS, app_by_short_name
+
+
+def test_sixteen_prim_apps():
+    assert len(PRIM_APPS) == 16
+
+
+def test_table1_short_names():
+    expected = {"VA", "GEMV", "SpMV", "SEL", "UNI", "BS", "TS", "BFS",
+                "MLP", "NW", "HST-S", "HST-L", "RED", "SCAN-SSA",
+                "SCAN-RSS", "TRNS"}
+    assert {info.short_name for info in PRIM_APPS} == expected
+
+
+def test_table1_domains():
+    domains = {info.domain for info in PRIM_APPS}
+    assert domains == {
+        "Dense linear algebra", "Sparse linear algebra", "Databases",
+        "Data analytics", "Graph processing", "Neural networks",
+        "Bioinformatics", "Image processing", "Parallel primitives",
+    }
+
+
+def test_microbenchmarks_registered():
+    assert app_by_short_name("CHK").benchmark == "Checksum"
+    assert app_by_short_name("UPIS").benchmark == "Wikipedia Index Search"
+    assert len(ALL_APPS) == 18
+
+
+def test_classes_are_host_applications():
+    for info in ALL_APPS:
+        assert issubclass(info.cls, HostApplication)
+        assert info.cls.short_name == info.short_name
+
+
+def test_unknown_app():
+    with pytest.raises(KeyError):
+        app_by_short_name("NOPE")
+
+
+def test_nr_dpus_validation():
+    for info in ALL_APPS[:3]:
+        with pytest.raises(ValueError):
+            info.cls(nr_dpus=0)

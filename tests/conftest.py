@@ -1,0 +1,37 @@
+"""Shared fixtures: small machines, transports, and VM sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import small_machine
+from repro.core import VPim
+from repro.driver.native import NativeTransport
+from repro.hardware.machine import Machine
+from repro.hardware.timing import DEFAULT_COST_MODEL
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A 2-rank, 8-DPUs-per-rank machine for fast tests."""
+    return Machine(small_machine(nr_ranks=2, dpus_per_rank=8))
+
+
+@pytest.fixture
+def native(machine) -> NativeTransport:
+    return NativeTransport(machine)
+
+
+@pytest.fixture
+def vpim() -> VPim:
+    return VPim(small_machine(nr_ranks=2, dpus_per_rank=8))
+
+
+@pytest.fixture
+def vm_session(vpim):
+    return vpim.vm_session(nr_vupmem=2, mem_bytes=1 << 30)
+
+
+@pytest.fixture
+def cost():
+    return DEFAULT_COST_MODEL

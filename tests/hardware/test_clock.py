@@ -1,0 +1,55 @@
+"""SimClock and SpanRecorder."""
+
+import pytest
+
+from repro.hardware.clock import SimClock, SpanRecorder
+
+
+def test_clock_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_advance_negative_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_advance_to_future_only():
+    clock = SimClock()
+    clock.advance(5.0)
+    clock.advance_to(3.0)   # in the past: no-op
+    assert clock.now == pytest.approx(5.0)
+    clock.advance_to(7.0)
+    assert clock.now == pytest.approx(7.0)
+
+
+def test_reset():
+    clock = SimClock()
+    clock.advance(9.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_span_recorder_totals():
+    clock = SimClock()
+    rec = SpanRecorder(clock)
+    rec.record("a", 0.0, 1.0)
+    rec.record("b", 1.0, 1.5)
+    rec.record("a", 2.0, 2.25)
+    assert rec.total("a") == pytest.approx(1.25)
+    assert rec.total("b") == pytest.approx(0.5)
+    assert rec.total("missing") == 0.0
+
+
+def test_span_recorder_rejects_negative_span():
+    rec = SpanRecorder(SimClock())
+    with pytest.raises(ValueError):
+        rec.record("x", 2.0, 1.0)

@@ -1,0 +1,117 @@
+"""Stateful property tests: the manager FSM and the full transfer path."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.config import small_machine
+from repro.core import VPim
+from repro.driver.driver import UpmemDriver
+from repro.errors import ManagerError
+from repro.hardware.machine import Machine
+from repro.sdk.dpu_set import DpuSet
+from repro.virt.manager import Manager, RankState
+
+
+class ManagerMachine(RuleBasedStateMachine):
+    """Random allocate/release/advance sequences against the manager.
+
+    Invariants checked after every step:
+
+    - a rank is never assigned to two tenants at once;
+    - a rank allocated to a *different* tenant than its previous owner is
+      always fully zeroed (the isolation guarantee R2);
+    - the rank table's states stay consistent with driver ownership.
+    """
+
+    TENANTS = ["t0", "t1", "t2"]
+
+    def __init__(self):
+        super().__init__()
+        self.machine = Machine(small_machine(nr_ranks=3, dpus_per_rank=2))
+        self.driver = UpmemDriver(self.machine)
+        self.manager = Manager(self.machine, self.driver, max_attempts=1)
+        self.holdings = {}          # rank_index -> tenant
+        self.previous_owner = {}    # rank_index -> tenant of last release
+
+    @rule(tenant=st.sampled_from(TENANTS))
+    def allocate(self, tenant):
+        try:
+            rank_index = self.manager.allocate(tenant)
+        except ManagerError:
+            return
+        assert rank_index not in self.holdings, "double allocation!"
+        rank = self.machine.rank(rank_index)
+        previous = self.previous_owner.get(rank_index)
+        if previous is not None and previous != tenant:
+            assert rank.is_clean(), (
+                f"tenant {tenant} inherited data from {previous}!"
+            )
+        self.driver.claim_rank(rank_index, tenant)
+        # The tenant scribbles a signature over its MRAM.
+        rank.dpus[0].mram.write(0, np.frombuffer(
+            tenant.encode() * 4, dtype=np.uint8).copy())
+        self.holdings[rank_index] = tenant
+
+    @rule(slot=st.integers(0, 2))
+    def release(self, slot):
+        held = sorted(self.holdings)
+        if not held:
+            return
+        rank_index = held[slot % len(held)]
+        tenant = self.holdings.pop(rank_index)
+        self.previous_owner[rank_index] = tenant
+        self.driver.release_rank(rank_index, tenant)
+
+    @rule(ms=st.integers(1, 1000))
+    def advance(self, ms):
+        self.machine.clock.advance(ms / 1000.0)
+
+    @invariant()
+    def table_consistent(self):
+        for idx, record in self.manager.rank_table.items():
+            if idx in self.holdings:
+                assert record.state is RankState.ALLO
+            else:
+                assert record.state in (RankState.NAAV, RankState.NANA,
+                                        RankState.ALLO)
+
+    @invariant()
+    def no_orphan_ownership(self):
+        for idx, tenant in self.holdings.items():
+            assert self.driver.rank_owner(idx) == tenant
+
+
+TestManagerStateMachine = ManagerMachine.TestCase
+TestManagerStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None)
+
+
+# -- full transfer-path fuzz ---------------------------------------------------
+
+@given(
+    seed=st.integers(0, 1000),
+    nr_dpus=st.integers(1, 8),
+    offset=st.integers(0, 1 << 16).map(lambda v: v & ~7),
+    sizes=st.lists(st.integers(1, 20_000), min_size=1, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_full_path_write_read_roundtrip(seed, nr_dpus, offset, sizes):
+    """Arbitrary per-DPU payloads survive the complete virtualized path
+    (serialize -> virtqueue -> backend -> rank -> read back) bit-exactly."""
+    vpim = VPim(small_machine(nr_ranks=1, dpus_per_rank=8))
+    session = vpim.vm_session(nr_vupmem=1, mem_bytes=1 << 30)
+    rng = np.random.default_rng(seed)
+    sizes = (sizes * nr_dpus)[:nr_dpus]
+    payloads = [rng.integers(0, 255, size, dtype=np.uint8).astype(np.uint8)
+                for size in sizes]
+    with DpuSet(session.transport, nr_dpus) as dpus:
+        for i, payload in enumerate(payloads):
+            dpus.copy_to_mram(i, offset, payload)
+        for i, payload in enumerate(payloads):
+            got = dpus.copy_from_mram(i, offset, payload.size)
+            assert np.array_equal(got, payload)

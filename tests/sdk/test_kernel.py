@@ -1,0 +1,147 @@
+"""Kernel/TaskletContext: ids, WRAM heap, host vars, DMA accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import MAX_TASKLETS, WRAM_SIZE
+from repro.errors import DpuFaultError
+from repro.hardware.dpu import Dpu
+from repro.sdk.kernel import (
+    BARRIER,
+    DpuProgram,
+    DpuSharedState,
+    TaskletContext,
+    tasklet_range,
+)
+
+
+@pytest.fixture
+def shared() -> DpuSharedState:
+    dpu = Dpu(0, 0)
+    dpu.load_program("p", 64, {"v32": 4, "v64": 8, "arr": 16})
+    return DpuSharedState(dpu, nr_tasklets=4)
+
+
+def test_me_and_width(shared):
+    ctx = TaskletContext(shared, 2)
+    assert ctx.me() == 2
+    assert ctx.nr_tasklets == 4
+
+
+def test_tasklet_id_out_of_range(shared):
+    with pytest.raises(DpuFaultError):
+        TaskletContext(shared, MAX_TASKLETS)
+
+
+def test_charge_accumulates(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.charge(10)
+    ctx.charge_loop(5, 2.5)
+    assert ctx.instructions == 10 + 12
+
+
+def test_charge_negative_rejected(shared):
+    ctx = TaskletContext(shared, 0)
+    with pytest.raises(DpuFaultError):
+        ctx.charge(-1)
+
+
+def test_mem_alloc_bump_and_reset(shared):
+    ctx = TaskletContext(shared, 0)
+    a = ctx.mem_alloc(100)
+    b = ctx.mem_alloc(100)
+    assert a == 0
+    assert b == 104  # 8-byte aligned
+    ctx.mem_reset()
+    assert ctx.mem_alloc(8) == 0
+
+
+def test_mem_alloc_overflow(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.mem_alloc(WRAM_SIZE - 8)
+    with pytest.raises(DpuFaultError):
+        ctx.mem_alloc(64)
+
+
+def test_mram_read_write_roundtrip(shared):
+    ctx = TaskletContext(shared, 0)
+    data = np.arange(32, dtype=np.uint8)
+    ctx.mram_write(128, data)
+    assert np.array_equal(ctx.mram_read(128, 32), data)
+    assert shared.dma_ops == 2
+    assert shared.dma_bytes == 64
+
+
+def test_mram_blocked_accounting(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.mram_read_blocks(0, 10_000, block_bytes=2048)
+    # ceil(10000 / 2048) = 5 DMA setups for one logical read.
+    assert shared.dma_ops == 5
+    assert shared.dma_bytes == 10_000
+
+
+def test_mram_blocked_invalid_block(shared):
+    ctx = TaskletContext(shared, 0)
+    with pytest.raises(DpuFaultError):
+        ctx.mram_read_blocks(0, 100, block_bytes=0)
+
+
+def test_host_u32_roundtrip(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.set_host_u32("v32", 0xDEADBEEF)
+    assert ctx.host_u32("v32") == 0xDEADBEEF
+
+
+def test_host_u64_and_i64(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.set_host_u64("v64", 1 << 40)
+    assert ctx.host_u64("v64") == 1 << 40
+    ctx.set_host_i64("v64", -12345)
+    assert ctx.host_i64("v64") == -12345
+
+
+def test_host_indexed_access(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.set_host_u32("arr", 7, index=2)
+    assert ctx.host_u32("arr", index=2) == 7
+    assert ctx.host_u32("arr", index=0) == 0
+
+
+def test_add_host_u32(shared):
+    ctx = TaskletContext(shared, 0)
+    ctx.set_host_u32("v32", 5)
+    ctx.add_host_u32("v32", 3)
+    assert ctx.host_u32("v32") == 8
+
+
+def test_unknown_symbol_raises(shared):
+    ctx = TaskletContext(shared, 0)
+    with pytest.raises(DpuFaultError):
+        ctx.host_u32("missing")
+
+
+def test_shared_scratch_is_per_dpu(shared):
+    a = TaskletContext(shared, 0)
+    b = TaskletContext(shared, 1)
+    a.shared["key"] = 42
+    assert b.shared["key"] == 42
+
+
+def test_barrier_returns_sentinel(shared):
+    ctx = TaskletContext(shared, 0)
+    assert ctx.barrier() is BARRIER
+
+
+@pytest.mark.parametrize("total,parts", [(100, 4), (7, 4), (3, 8), (0, 4)])
+def test_tasklet_range_partition(shared, total, parts):
+    shared2 = DpuSharedState(shared.dpu, parts)
+    ranges = [tasklet_range(TaskletContext(shared2, t), total)
+              for t in range(parts)]
+    covered = [i for rng in ranges for i in rng]
+    assert covered == list(range(total))
+
+
+def test_program_requires_kernel_override():
+    with pytest.raises(NotImplementedError):
+        prog = DpuProgram()
+        list(prog.kernel(None))

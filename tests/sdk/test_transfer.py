@@ -1,0 +1,80 @@
+"""Transfer matrices: validation, page accounting, helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import MRAM_HEAP_SYMBOL
+from repro.errors import TransferError
+from repro.sdk.transfer import (
+    DpuEntry,
+    Target,
+    TransferMatrix,
+    XferKind,
+    uniform_read,
+    uniform_write,
+)
+
+
+def test_entry_page_count():
+    assert DpuEntry(0, 0).nr_pages == 0
+    assert DpuEntry(0, 1, np.zeros(1, np.uint8)).nr_pages == 1
+    assert DpuEntry(0, 4096, np.zeros(4096, np.uint8)).nr_pages == 1
+    assert DpuEntry(0, 4097, np.zeros(4097, np.uint8)).nr_pages == 2
+
+
+def test_entry_size_mismatch_rejected():
+    with pytest.raises(TransferError):
+        DpuEntry(0, 10, np.zeros(5, np.uint8))
+
+
+def test_entry_negative_size_rejected():
+    with pytest.raises(TransferError):
+        DpuEntry(0, -1)
+
+
+def test_to_dpu_requires_payload():
+    with pytest.raises(TransferError):
+        TransferMatrix(XferKind.TO_DPU, MRAM_HEAP_SYMBOL, 0,
+                       [DpuEntry(0, 8)])
+
+
+def test_duplicate_dpu_rejected():
+    entries = [DpuEntry(1, 4, np.zeros(4, np.uint8)),
+               DpuEntry(1, 4, np.zeros(4, np.uint8))]
+    with pytest.raises(TransferError):
+        TransferMatrix(XferKind.TO_DPU, MRAM_HEAP_SYMBOL, 0, entries)
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(TransferError):
+        TransferMatrix(XferKind.FROM_DPU, MRAM_HEAP_SYMBOL, -8,
+                       [DpuEntry(0, 4)])
+
+
+def test_target_classification():
+    mram = TransferMatrix(XferKind.FROM_DPU, MRAM_HEAP_SYMBOL, 0,
+                          [DpuEntry(0, 8)])
+    assert mram.target is Target.MRAM
+    wram = TransferMatrix(XferKind.FROM_DPU, "my_var", 0, [DpuEntry(0, 8)])
+    assert wram.target is Target.WRAM_SYMBOL
+
+
+def test_totals():
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0, [
+        np.zeros(100, np.uint8), np.zeros(5000, np.uint8)])
+    assert matrix.total_bytes == 5100
+    assert matrix.total_pages == 1 + 2
+    assert matrix.max_entry_bytes == 5000
+
+
+def test_uniform_read_builder():
+    matrix = uniform_read(MRAM_HEAP_SYMBOL, 64, 256, nr_dpus=4)
+    assert len(matrix.entries) == 4
+    assert all(e.size == 256 and e.data is None for e in matrix.entries)
+    assert [e.dpu_index for e in matrix.entries] == [0, 1, 2, 3]
+
+
+def test_entry_data_flattened_to_u8():
+    entry = DpuEntry(0, 8, np.array([1, 2], dtype=np.int32))
+    assert entry.data.dtype == np.uint8
+    assert entry.data.size == 8

@@ -1,0 +1,64 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "Vector Addition" in out
+    assert "Needleman-Wunsch" in out
+    assert out.count("\n") >= 18
+
+
+def test_spec(capsys):
+    code, out = run_cli(capsys, "spec")
+    assert code == 0
+    assert "device ID        : 42" in out
+    assert "transferq (512 slots)" in out
+    assert "130 buffers" in out
+
+
+def test_run_native(capsys):
+    code, out = run_cli(capsys, "run", "VA", "--dpus", "8",
+                        "--mode", "native")
+    assert code == 0
+    assert "ok=True" in out
+
+
+def test_run_vpim_with_preset(capsys):
+    code, out = run_cli(capsys, "run", "RED", "--dpus", "8",
+                        "--preset", "vPIM-C")
+    assert code == 0
+    assert "vPIM-C" in out
+    assert "transitions" in out
+
+
+def test_compare(capsys):
+    code, out = run_cli(capsys, "compare", "VA", "--dpus", "8")
+    assert code == 0
+    assert "overhead:" in out
+    assert "native" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "NOPE"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_figure_fig16(capsys):
+    code, out = run_cli(capsys, "figure", "fig16")
+    assert code == 0
+    assert "sequential" in out

@@ -1,0 +1,37 @@
+"""KVM transition accounting."""
+
+import pytest
+
+from repro.hardware.timing import DEFAULT_COST_MODEL
+from repro.virt.kvm import Kvm
+
+
+def test_trap_counts_and_costs():
+    kvm = Kvm(DEFAULT_COST_MODEL)
+    assert kvm.trap() == pytest.approx(DEFAULT_COST_MODEL.vmexit_cost)
+    assert kvm.stats.vmexits == 1
+    assert kvm.stats.irq_injections == 0
+
+
+def test_irq_counts_and_costs():
+    kvm = Kvm(DEFAULT_COST_MODEL)
+    assert kvm.inject_irq() == pytest.approx(
+        DEFAULT_COST_MODEL.irq_inject_cost)
+    assert kvm.stats.irq_injections == 1
+
+
+def test_roundtrip_is_trap_plus_irq():
+    kvm = Kvm(DEFAULT_COST_MODEL)
+    total = kvm.roundtrip()
+    assert total == pytest.approx(DEFAULT_COST_MODEL.vmexit_cost
+                                  + DEFAULT_COST_MODEL.irq_inject_cost)
+    assert kvm.stats.vmexits == 1
+    assert kvm.stats.irq_injections == 1
+
+
+def test_stats_accumulate():
+    kvm = Kvm(DEFAULT_COST_MODEL)
+    for _ in range(10):
+        kvm.roundtrip()
+    assert kvm.stats.vmexits == 10
+    assert kvm.stats.irq_injections == 10

@@ -1,0 +1,61 @@
+"""Table 2: the optimization configuration matrix."""
+
+import pytest
+
+from repro.virt.opts import OptimizationConfig, PRESETS, preset
+
+
+def test_all_table2_rows_exist():
+    for name in ("vPIM-rust", "vPIM-C", "vPIM+P", "vPIM+B", "vPIM+PB",
+                 "vPIM-Seq", "vPIM"):
+        assert name in PRESETS
+
+
+def test_vpim_rust_all_off():
+    p = preset("vPIM-rust")
+    assert not p.c_enhancement
+    assert not p.prefetch_cache
+    assert not p.request_batching
+    assert not p.parallel_handling
+
+
+def test_vpim_c_only_c():
+    p = preset("vPIM-C")
+    assert p.c_enhancement
+    assert not (p.prefetch_cache or p.request_batching or p.parallel_handling)
+
+
+def test_incremental_presets():
+    assert preset("vPIM+P").prefetch_cache and not preset("vPIM+P").request_batching
+    assert preset("vPIM+B").request_batching and not preset("vPIM+B").prefetch_cache
+    pb = preset("vPIM+PB")
+    assert pb.prefetch_cache and pb.request_batching and not pb.parallel_handling
+
+
+def test_vpim_seq_differs_from_vpim_only_by_parallel():
+    seq, full = preset("vPIM-Seq"), preset("vPIM")
+    assert not seq.parallel_handling and full.parallel_handling
+    assert (seq.c_enhancement, seq.prefetch_cache, seq.request_batching) == \
+           (full.c_enhancement, full.prefetch_cache, full.request_batching)
+
+
+def test_default_is_fully_optimized():
+    p = OptimizationConfig()
+    assert p == preset("vPIM")
+
+
+def test_labels():
+    assert preset("vPIM+PB").label in ("vPIM+PB", "vPIM-Seq")  # identical rows
+    assert OptimizationConfig(c_enhancement=False,
+                              parallel_handling=True).label == "vPIM[rPBM]"
+
+
+def test_capacity_defaults_match_paper():
+    p = OptimizationConfig()
+    assert p.prefetch_pages_per_dpu == 16   # Section 4.1
+    assert p.batch_pages_per_dpu == 64      # Section 4.1
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        preset("vPIM-nope")

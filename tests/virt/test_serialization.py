@@ -1,0 +1,145 @@
+"""Wire format: header packing, matrix (de)serialization, gather/scatter."""
+
+import numpy as np
+import pytest
+
+from repro.config import MRAM_HEAP_SYMBOL, PAGE_SIZE
+from repro.errors import SerializationError
+from repro.sdk.transfer import uniform_read, uniform_write
+from repro.virt.guest_memory import GuestMemory
+from repro.virt.serialization import (
+    RequestHeader,
+    RequestKind,
+    deserialize_request,
+    gather_entry_data,
+    scatter_entry_data,
+    serialize_matrix,
+    xfer_kind_of,
+)
+from repro.sdk.transfer import XferKind
+
+
+@pytest.fixture
+def mem() -> GuestMemory:
+    return GuestMemory(128 << 20)
+
+
+def test_header_pack_unpack_roundtrip():
+    header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=12345,
+                           count=7, symbol="my_symbol", program_name="prog")
+    packed = header.pack()
+    unpacked = RequestHeader.unpack(packed)
+    assert unpacked == header
+
+
+def test_header_unicode_symbol():
+    header = RequestHeader(kind=RequestKind.LOAD, symbol="héap",
+                           program_name="nw_dpu")
+    assert RequestHeader.unpack(header.pack()) == header
+
+
+def test_header_too_short_rejected():
+    with pytest.raises(SerializationError):
+        RequestHeader.unpack(np.zeros(10, dtype=np.uint8))
+
+
+def test_header_bad_kind_rejected():
+    raw = RequestHeader(kind=RequestKind.CI_OP).pack().copy()
+    raw[:8] = np.frombuffer(np.uint64(99).tobytes(), dtype=np.uint8)
+    with pytest.raises(SerializationError):
+        RequestHeader.unpack(raw)
+
+
+def test_serialize_write_matrix_layout(mem):
+    bufs = [np.arange(100, dtype=np.uint8),
+            (np.arange(5000) % 256).astype(np.uint8)]
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 64, bufs)
+    header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=64,
+                           symbol=MRAM_HEAP_SYMBOL)
+    sreq = serialize_matrix(header, matrix, mem)
+    # Fig. 7: request info + matrix meta + per-DPU (meta, pages).
+    assert len(sreq.chain) == 2 + 2 * 2
+    assert sreq.total_pages == 1 + 2
+
+
+def test_serialize_deserialize_roundtrip(mem):
+    bufs = [np.random.default_rng(i).integers(0, 255, 3000, dtype=np.uint8)
+            .astype(np.uint8) for i in range(3)]
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0, bufs)
+    header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                           symbol=MRAM_HEAP_SYMBOL)
+    sreq = serialize_matrix(header, matrix, mem)
+    got_header, entries = deserialize_request(sreq.chain, mem)
+    assert got_header.kind is RequestKind.WRITE_RANK
+    assert len(entries) == 3
+    for i, entry in enumerate(entries):
+        assert entry.size == 3000
+        data = gather_entry_data(entry, mem)
+        assert np.array_equal(data, bufs[i])
+
+
+def test_read_matrix_allocates_destination_pages(mem):
+    matrix = uniform_read(MRAM_HEAP_SYMBOL, 0, 10_000, nr_dpus=2)
+    header = RequestHeader(kind=RequestKind.READ_RANK,
+                           symbol=MRAM_HEAP_SYMBOL)
+    sreq = serialize_matrix(header, matrix, mem)
+    _, entries = deserialize_request(sreq.chain, mem)
+    results = (np.arange(10_000) % 251).astype(np.uint8)
+    for entry in entries:
+        scatter_entry_data(entry, results, mem)
+        assert np.array_equal(gather_entry_data(entry, mem), results)
+    # And the frontend can find them through the data descriptors.
+    for (dpu, size, gpa) in sreq.data_descriptors:
+        assert np.array_equal(mem.read(gpa, size), results)
+
+
+def test_scatter_wrong_size_rejected(mem):
+    matrix = uniform_read(MRAM_HEAP_SYMBOL, 0, 100, nr_dpus=1)
+    sreq = serialize_matrix(
+        RequestHeader(kind=RequestKind.READ_RANK, symbol=MRAM_HEAP_SYMBOL),
+        matrix, mem)
+    _, entries = deserialize_request(sreq.chain, mem)
+    with pytest.raises(SerializationError):
+        scatter_entry_data(entries[0], np.zeros(99, dtype=np.uint8), mem)
+
+
+def test_deserialize_truncated_chain_rejected(mem):
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0, [np.zeros(10, np.uint8)])
+    sreq = serialize_matrix(
+        RequestHeader(kind=RequestKind.WRITE_RANK, symbol=MRAM_HEAP_SYMBOL),
+        matrix, mem)
+    with pytest.raises(SerializationError):
+        deserialize_request(sreq.chain[:-1], mem)
+
+
+def test_deserialize_empty_chain_rejected(mem):
+    with pytest.raises(SerializationError):
+        deserialize_request([], mem)
+
+
+def test_header_only_request(mem):
+    # A header-only chain deserializes to zero entries.
+    from repro.virt.virtio import write_buffer
+    header = RequestHeader(kind=RequestKind.LAUNCH)
+    chain = [write_buffer(mem, header.pack())]
+    got, entries = deserialize_request(chain, mem)
+    assert got.kind is RequestKind.LAUNCH
+    assert entries == []
+
+
+def test_xfer_kind_mapping():
+    assert xfer_kind_of(RequestKind.WRITE_RANK) is XferKind.TO_DPU
+    assert xfer_kind_of(RequestKind.READ_RANK) is XferKind.FROM_DPU
+    with pytest.raises(SerializationError):
+        xfer_kind_of(RequestKind.LAUNCH)
+
+
+def test_page_gpas_are_page_aligned(mem):
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0,
+                           [np.zeros(PAGE_SIZE * 3, np.uint8)])
+    sreq = serialize_matrix(
+        RequestHeader(kind=RequestKind.WRITE_RANK, symbol=MRAM_HEAP_SYMBOL),
+        matrix, mem)
+    _, entries = deserialize_request(sreq.chain, mem)
+    assert (entries[0].page_gpas % PAGE_SIZE == 0).all()
+    assert entries[0].page_gpas.size == 3

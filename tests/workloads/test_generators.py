@@ -1,0 +1,98 @@
+"""Workload generators: determinism and structural validity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generators import (
+    random_array,
+    random_csr,
+    random_graph_csr,
+    random_image,
+    random_matrix,
+    sorted_array,
+)
+from repro.workloads.wikipedia import SyntheticCorpus
+
+
+def test_random_array_deterministic():
+    a = random_array(1000, seed=42)
+    b = random_array(1000, seed=42)
+    c = random_array(1000, seed=43)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_random_array_bounds():
+    arr = random_array(10_000, lo=5, hi=9, seed=0)
+    assert arr.min() >= 5 and arr.max() < 9
+
+
+def test_sorted_array_strictly_increasing():
+    arr = sorted_array(10_000, seed=1)
+    assert (np.diff(arr) > 0).all()
+
+
+def test_random_matrix_shape_and_dtype():
+    m = random_matrix(13, 7, dtype=np.int32, seed=2)
+    assert m.shape == (13, 7)
+    assert m.dtype == np.int32
+
+
+@given(rows=st.integers(1, 200), cols=st.integers(1, 100),
+       nnz=st.integers(1, 16))
+@settings(max_examples=30, deadline=None)
+def test_random_csr_structurally_valid(rows, cols, nnz):
+    csr = random_csr(rows, cols, nnz_per_row=nnz, seed=rows)
+    assert csr.row_ptr.size == rows + 1
+    assert csr.row_ptr[0] == 0
+    assert int(csr.row_ptr[-1]) == csr.nnz == csr.col_idx.size
+    assert (np.diff(csr.row_ptr) >= 1).all(), "every row has an entry"
+    assert csr.col_idx.min() >= 0 and csr.col_idx.max() < cols
+    # Columns are sorted and unique within each row.
+    for r in range(rows):
+        s, e = int(csr.row_ptr[r]), int(csr.row_ptr[r + 1])
+        row_cols = csr.col_idx[s:e]
+        assert (np.diff(row_cols) > 0).all()
+
+
+@given(nv=st.integers(2, 500), degree=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_random_graph_csr_valid(nv, degree):
+    row_ptr, col_idx = random_graph_csr(nv, avg_degree=degree, seed=nv)
+    assert row_ptr.size == nv + 1
+    assert int(row_ptr[-1]) == col_idx.size
+    if col_idx.size:
+        assert col_idx.min() >= 0 and col_idx.max() < nv
+    # The spine guarantees an edge v-1 -> v for every v.
+    for v in range(1, min(nv, 20)):
+        s, e = int(row_ptr[v - 1]), int(row_ptr[v])
+        assert v in col_idx[s:e], f"spine edge {v - 1}->{v} missing"
+
+
+def test_random_graph_no_self_loops():
+    row_ptr, col_idx = random_graph_csr(200, avg_degree=4, seed=9)
+    for v in range(200):
+        s, e = int(row_ptr[v]), int(row_ptr[v + 1])
+        assert v not in col_idx[s:e]
+
+
+def test_random_image_distribution():
+    img = random_image(100_000, depth=256, seed=4)
+    assert img.min() >= 0 and img.max() <= 255
+    hist = np.bincount(img, minlength=256)
+    # Gaussian-ish: the middle bins are far denser than the edges.
+    assert hist[118:138].mean() > 5 * max(1.0, hist[:10].mean())
+
+
+def test_corpus_deterministic():
+    a = SyntheticCorpus(nr_documents=50, vocabulary_size=200, seed=1)
+    b = SyntheticCorpus(nr_documents=50, vocabulary_size=200, seed=1)
+    assert all(np.array_equal(x, y)
+               for x, y in zip(a.documents, b.documents))
+
+
+def test_corpus_queries_in_vocabulary():
+    corpus = SyntheticCorpus(nr_documents=50, vocabulary_size=200, seed=1)
+    queries = corpus.queries(100, seed=2)
+    assert queries.min() >= 0 and queries.max() < 200
