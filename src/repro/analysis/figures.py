@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.trace import Tracer
 from repro.apps.micro.checksum import Checksum
 from repro.apps.micro.index_search import IndexSearch
 from repro.apps.prim.nw import NeedlemanWunsch
@@ -22,6 +23,7 @@ from repro.apps.registry import PRIM_APPS, app_by_short_name
 from repro.config import MachineConfig, RankConfig
 from repro.core import VPim
 from repro.core.results import ExecutionReport
+from repro.observability import MetricsRegistry
 from repro.sdk.dpu_set import DpuSet
 from repro.workloads.wikipedia import SyntheticCorpus
 
@@ -133,6 +135,36 @@ def run_app(short_name: str, nr_dpus: int, mode: str = "native",
         session = vpim.vm_session(nr_vupmem=cfg.nr_ranks,
                                   preset_name=preset)
     return session.run(app)
+
+
+def run_app_instrumented(
+        short_name: str, nr_dpus: int, mode: str = "vm",
+        profile: str = "test", preset: Optional[str] = None,
+        config: Optional[MachineConfig] = None,
+        **extra_params) -> Tuple[ExecutionReport, MetricsRegistry, Tracer]:
+    """Like :func:`run_app`, but returns the full observability bundle.
+
+    One run yields three artifacts: the :class:`ExecutionReport`, the
+    machine's :class:`MetricsRegistry` (export with
+    :func:`repro.observability.render_prometheus`), and a :class:`Tracer`
+    whose events were mirrored into the ``repro_trace_*`` metrics — the
+    ``repro metrics`` CLI subcommand is a thin wrapper over this.
+    """
+    cfg = config or machine_for_dpus(nr_dpus)
+    vpim = VPim(cfg)
+    registry = vpim.machine.metrics
+    params = dict(SIZE_PROFILES[profile].get(short_name, {}))
+    params.update(extra_params)
+    app = app_by_short_name(short_name).cls(nr_dpus=nr_dpus, **params)
+    if mode == "native":
+        session = vpim.native_session()
+    else:
+        session = vpim.vm_session(nr_vupmem=cfg.nr_ranks,
+                                  preset_name=preset)
+    tracer = Tracer(registry=registry)
+    session.transport.profiler.tracer = tracer
+    report = session.run(app)
+    return report, registry, tracer
 
 
 def compare_app(short_name: str, nr_dpus: int, profile: str = "test",

@@ -5,6 +5,11 @@ operation and every application segment as a timed event on the
 simulated clock, and exports the Chrome trace-event JSON format, so a
 run can be inspected in ``chrome://tracing`` / Perfetto — the kind of
 observability a production virtualization layer ships with.
+
+When constructed with a :class:`~repro.observability.MetricsRegistry`,
+the tracer mirrors its event flow into the ``repro_trace_*`` metrics, so
+one run emits both artifacts: a timeline for Perfetto and a snapshot for
+Prometheus (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.observability import MetricsRegistry
+from repro.observability.instruments import TraceInstruments
 
 
 @dataclass
@@ -40,19 +48,26 @@ class TraceEvent:
 class Tracer:
     """Collects trace events; attach via ``profiler.tracer = Tracer()``."""
 
-    def __init__(self, max_events: int = 100_000) -> None:
+    def __init__(self, max_events: int = 100_000,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.events: List[TraceEvent] = []
         self.max_events = max_events
         self.dropped = 0
+        #: Optional metrics bridge; ``None`` keeps the tracer standalone.
+        self.obs = TraceInstruments(registry) if registry is not None else None
 
     def record(self, name: str, category: str, start: float,
                duration: float, **args: object) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
+            if self.obs is not None:
+                self.obs.dropped()
             return
         self.events.append(TraceEvent(name=name, category=category,
                                       start=start, duration=duration,
                                       args=dict(args)))
+        if self.obs is not None:
+            self.obs.event(category)
 
     # -- queries ------------------------------------------------------------
 

@@ -26,6 +26,9 @@ from repro.workloads.generators import random_array
 #: Instructions per checksummed byte (load, add, loop shared 4-wide).
 INSTR_PER_BYTE = 8
 
+#: Bytes re-read per DPU by the optional staging spot-check.
+VERIFY_SPOT_BYTES = 256
+
 
 def ci_ops_for_size(file_mb: float) -> int:
     """CI-operation count of one checksum run (§5.3.1 calibration).
@@ -74,21 +77,50 @@ class Checksum(HostApplication):
     domain = "Microbenchmark"
 
     def __init__(self, nr_dpus: int, file_mb: float = 1.0, scale: int = 1,
-                 seed: int = 0) -> None:
+                 seed: int = 0, verify_staging: bool = False) -> None:
         """``file_mb`` is the *nominal* (paper-scale) file size; ``scale``
         divides both the materialized bytes and the CI-operation count so
-        scaled-down runs preserve the paper's overhead ratios exactly."""
+        scaled-down runs preserve the paper's overhead ratios exactly.
+
+        ``verify_staging`` adds an opt-in integrity pass after staging:
+        one small per-DPU MRAM tag write (absorbed by the frontend's
+        request batching when enabled) and a double spot-check read of
+        the staged file (the second read hits the prefetch cache when
+        enabled).  Off by default so the Fig. 9/11 operation mix and
+        timings are exactly the paper's.
+        """
         if scale < 1:
             raise ValueError(f"scale must be >= 1, got {scale}")
         super().__init__(nr_dpus, file_mb=file_mb, scale=scale, seed=seed)
         file_bytes = max(1024, int(file_mb * (1 << 20) / scale))
         self.scale = scale
         self.file_mb = file_mb
+        self.verify_staging = verify_staging
         self.file = random_array(file_bytes, np.uint8, lo=0, hi=256,
                                  seed=seed).astype(np.uint8)
 
     def expected(self) -> int:
         return int(self.file.astype(np.uint64).sum() & 0xFFFFFFFF)
+
+    def _spot_check(self, dpus: DpuSet) -> None:
+        """Verify the staged file in place before launching.
+
+        Tags are 8-byte per-DPU serial writes (the batching-absorbable
+        pattern); the spot read runs twice so the first pass refills the
+        prefetch cache and the second is served from it.
+        """
+        tag_offset = (self.file.size + 7) & ~7
+        for i in range(self.nr_dpus):
+            tag = np.full(8, i % 256, np.uint8)
+            dpus.copy_to_mram(i, tag_offset, tag)
+        spot = min(VERIFY_SPOT_BYTES, self.file.size)
+        expect = self.file[:spot]
+        for _pass in range(2):
+            for i in range(self.nr_dpus):
+                got = dpus.copy_from_mram(i, 0, spot)
+                if not np.array_equal(got, expect):
+                    raise AssertionError(
+                        f"DPU {i} staged file mismatch in spot check")
 
     def run(self, transport: Transport) -> int:
         profiler = transport.profiler
@@ -99,6 +131,8 @@ class Checksum(HostApplication):
                                   np.array([self.file.size], np.uint32))
                 # One write-to-rank carrying the file to every DPU.
                 dpus.push_to_mram(0, [self.file] * self.nr_dpus)
+                if self.verify_staging:
+                    self._spot_check(dpus)
             with profiler.segment("DPU"):
                 dpus.launch()
                 # The demo's status/command CI stream (§5.3.1), scaled

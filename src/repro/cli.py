@@ -6,6 +6,7 @@ Usage::
     python -m repro run VA --dpus 60 --mode vpim  # one application
     python -m repro compare NW --dpus 16          # native vs vPIM
     python -m repro figure fig9                   # regenerate a figure
+    python -m repro metrics VA --dpus 60          # Prometheus snapshot
     python -m repro spec                          # the virtio-pim spec
 """
 
@@ -129,6 +130,29 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Run one application and print/save the metrics snapshot."""
+    from repro.observability import render_json, render_prometheus
+
+    mode = "native" if args.mode == "native" else "vm"
+    report, registry, tracer = figures.run_app_instrumented(
+        args.app, args.dpus, mode=mode, profile=args.profile,
+        preset=args.preset)
+    text = (render_json(registry) if args.format == "json"
+            else render_prometheus(registry))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"metrics snapshot written to {args.output}")
+    else:
+        print(text, end="")
+    if args.trace:
+        tracer.save(args.trace)
+        print(f"chrome trace ({len(tracer.events)} events) "
+              f"written to {args.trace}", file=sys.stderr)
+    return 0 if report.verified else 1
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -177,6 +201,21 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--profile", choices=["test", "bench"], default="test")
     fig.add_argument("--dpu-counts", type=int, nargs="+", default=[60, 480])
     fig.set_defaults(fn=cmd_figure)
+
+    met = sub.add_parser(
+        "metrics",
+        help="run one application and emit a metrics snapshot")
+    met.add_argument("app", choices=[i.short_name for i in ALL_APPS])
+    met.add_argument("--dpus", type=int, default=16)
+    met.add_argument("--mode", choices=["native", "vpim"], default="vpim")
+    met.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    met.add_argument("--profile", choices=["test", "bench"], default="test")
+    met.add_argument("--format", choices=["prom", "json"], default="prom")
+    met.add_argument("--output", default=None, metavar="FILE",
+                     help="write the snapshot here instead of stdout")
+    met.add_argument("--trace", default=None, metavar="FILE",
+                     help="also save the Chrome trace of the run")
+    met.set_defaults(fn=cmd_metrics)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.results import ExecutionReport
+from repro.observability.instruments import SessionInstruments
 from repro.sdk.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -20,6 +21,7 @@ class ExecutionSession:
         self.transport = transport
         self.mode = mode
         self.vm = vm
+        self.obs = SessionInstruments(transport.metrics)
 
     def run(self, app: "HostApplication",
             verify: bool = True) -> ExecutionReport:
@@ -39,6 +41,7 @@ class ExecutionSession:
         total = self.transport.clock.now - start
         verified = app.verify(output) if verify else True
         vmexits = (self.vm.kvm.stats.vmexits - vmexits_before) if self.vm else 0
+        self.obs.run(app.short_name, self.mode, verified, total)
         return ExecutionReport(
             app_name=app.short_name,
             mode=self.mode,

@@ -85,7 +85,7 @@ class NativeTransport(Transport):
                  profiler: Optional[Profiler] = None) -> None:
         clock = clock or machine.clock
         cost = cost or machine.cost
-        super().__init__(clock, cost, profiler)
+        super().__init__(clock, cost, profiler, metrics=machine.metrics)
         self.machine = machine
         self.driver = driver or UpmemDriver(machine)
         self.owner = f"native-{next(_owner_ids)}"

@@ -102,3 +102,11 @@ class ManagerError(VirtError):
 
 class VmConfigError(VirtError):
     """Invalid VM configuration passed to the Firecracker API server."""
+
+
+# --------------------------------------------------------------------------
+# Observability layer
+# --------------------------------------------------------------------------
+
+class ObservabilityError(ReproError):
+    """Metrics misuse: bad name/label, type conflict, cardinality blow-up."""

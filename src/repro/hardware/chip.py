@@ -17,7 +17,8 @@ from repro.hardware.dpu import Dpu
 
 
 class PimChip:
-    """One memory chip holding :data:`~repro.config.DPUS_PER_CHIP` DPUs."""
+    """One memory chip holding :data:`~repro.config.DPUS_PER_CHIP` DPUs
+    (§2, Fig. 1: 8 chips per rank; byte interleaving spreads words over them)."""
 
     def __init__(self, rank_index: int, chip_index: int,
                  dpus: List[Dpu]) -> None:

@@ -45,7 +45,8 @@ class SimClock:
 
 
 class SpanRecorder:
-    """Records named (start, end) spans against a :class:`SimClock`.
+    """Records named (start, end) spans against a :class:`SimClock` (the
+    substrate of the Fig. 13 per-step breakdowns).
 
     Used by the profiling layer to build breakdowns.  Spans may nest; the
     recorder stores them flat and lets the caller aggregate.

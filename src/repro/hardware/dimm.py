@@ -9,7 +9,8 @@ from repro.hardware.rank import Rank
 
 
 class Dimm:
-    """One UPMEM DIMM, a standard DDR4-2400 module carrying 2 ranks."""
+    """One UPMEM DIMM, a standard DDR4-2400 module carrying 2 ranks
+    (§2, Fig. 1: the testbed fits 10 such PIM DIMMs)."""
 
     def __init__(self, index: int, ranks: List[Rank]) -> None:
         if len(ranks) > RANKS_PER_DIMM:

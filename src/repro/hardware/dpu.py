@@ -25,7 +25,8 @@ from repro.hardware.memory import MemoryRegion
 
 
 class DpuState(enum.Enum):
-    """Run state reported through the control interface."""
+    """Run state reported through the control interface (§2, Fig. 12's
+    CI status traffic polls exactly these values)."""
 
     IDLE = "idle"
     RUNNING = "running"
@@ -35,7 +36,8 @@ class DpuState(enum.Enum):
 
 @dataclass
 class DpuRunStats:
-    """Statistics of one program run on one DPU.
+    """Statistics of one program run on one DPU (inputs of §2's
+    pipeline/DMA timing rules).
 
     ``tasklet_instructions`` holds the number of pipeline instructions each
     tasklet issued; DMA transfers between MRAM and WRAM are counted
@@ -52,7 +54,8 @@ class DpuRunStats:
 
 
 class Dpu:
-    """One DRAM Processing Unit."""
+    """One DRAM Processing Unit (§2: 64 MB MRAM, 64 KB WRAM, 24 KB IRAM,
+    up to 24 tasklets on an in-order pipeline — Fig. 1's compute unit)."""
 
     def __init__(self, rank_index: int, dpu_index: int) -> None:
         self.rank_index = rank_index
@@ -66,6 +69,9 @@ class Dpu:
         #: Host-visible symbol storage (WRAM variables declared ``__host``).
         self.symbols: Dict[str, bytearray] = {}
         self.last_run: Optional[DpuRunStats] = None
+        #: Lifetime run statistics (feed the per-rank launch/boot metrics).
+        self.boots = 0
+        self.faults = 0
 
     # -- program load -------------------------------------------------------
 
@@ -123,6 +129,7 @@ class Dpu:
             raise DpuFaultError("launch without a loaded program")
         if self.state is DpuState.RUNNING:
             raise DpuFaultError("DPU is already running")
+        self.boots += 1
         self.state = DpuState.RUNNING
 
     def finish_run(self, stats: DpuRunStats) -> None:
@@ -130,6 +137,7 @@ class Dpu:
         self.state = DpuState.DONE
 
     def fault(self) -> None:
+        self.faults += 1
         self.state = DpuState.FAULT
 
     def reset(self) -> None:

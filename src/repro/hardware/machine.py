@@ -19,17 +19,27 @@ from repro.hardware.clock import SimClock
 from repro.hardware.dimm import Dimm
 from repro.hardware.rank import Rank
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+from repro.observability import MetricsRegistry
 
 
 class Machine:
-    """A host machine equipped with UPMEM PIM modules."""
+    """A host machine equipped with UPMEM PIM modules (Fig. 1 testbed).
+
+    Owns the three machine-wide singletons every layer shares: the
+    simulated clock, the cost model, and the metrics registry
+    (``docs/observability.md``).
+    """
 
     def __init__(self, config: Optional[MachineConfig] = None,
                  cost: CostModel = DEFAULT_COST_MODEL) -> None:
         self.config = config or paper_testbed()
         self.cost = cost
         self.clock = SimClock()
-        self.ranks: List[Rank] = [Rank(rc, cost) for rc in self.config.ranks]
+        #: Machine-wide metric store; ranks, the manager, vUPMEM devices
+        #: and sessions all register their instruments here.
+        self.metrics = MetricsRegistry()
+        self.ranks: List[Rank] = [Rank(rc, cost, metrics=self.metrics)
+                                  for rc in self.config.ranks]
         self.dimms: List[Dimm] = [
             Dimm(i, self.ranks[i * RANKS_PER_DIMM:(i + 1) * RANKS_PER_DIMM])
             for i in range((len(self.ranks) + RANKS_PER_DIMM - 1) // RANKS_PER_DIMM)

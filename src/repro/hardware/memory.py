@@ -29,7 +29,8 @@ def _as_u8(data: BytesLike) -> np.ndarray:
 
 
 class MemoryRegion:
-    """A byte-addressable region of ``size`` bytes, materialized on demand.
+    """A byte-addressable region of ``size`` bytes, materialized on demand
+    (backs the MRAM/WRAM/IRAM memories of §2).
 
     Supports the three memory kinds of a DPU (MRAM, WRAM, IRAM) as well as
     guest physical memory in the virtualization layer.

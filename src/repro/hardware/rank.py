@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,10 +28,13 @@ from repro.errors import ControlInterfaceError, MemoryAccessError, TransferError
 from repro.hardware.chip import PimChip
 from repro.hardware.dpu import Dpu, DpuRunStats, DpuState
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+from repro.observability import MetricsRegistry
+from repro.observability.instruments import RankInstruments
 
 
 class CiCommand(enum.Enum):
-    """Control-interface command kinds tracked by the statistics."""
+    """Control-interface command kinds tracked by the statistics (the
+    traffic classes behind Fig. 12's CI bar)."""
 
     STATUS = "status"
     BOOT = "boot"
@@ -55,28 +58,34 @@ class CiCounters:
 
 
 class ControlInterface:
-    """The command/status port of a rank."""
+    """The command/status port of a rank (§2: one CI per rank)."""
 
     def __init__(self, rank: "Rank") -> None:
         self._rank = rank
         self.counters = CiCounters()
 
+    def record(self, command: CiCommand, count: int = 1) -> None:
+        """Account ``count`` CI operations in stats and live metrics."""
+        self.counters.record(command, count)
+        self._rank.obs.ci(command.value, count)
+
     def execute(self, command: CiCommand, count: int = 1) -> float:
         """Perform ``count`` CI operations; returns their native duration."""
         if count < 0:
             raise ControlInterfaceError(f"negative CI op count {count}")
-        self.counters.record(command, count)
+        self.record(command, count)
         return count * self._rank.cost.ci_op_native
 
     def status(self) -> List[DpuState]:
         """One STATUS op reading the run state of every DPU."""
-        self.counters.record(CiCommand.STATUS)
+        self.record(CiCommand.STATUS)
         return [dpu.state for dpu in self._rank.dpus]
 
 
 @dataclass(frozen=True)
 class WriteSpec:
-    """One DPU's slice of a write-to-rank operation."""
+    """One DPU's slice of a write-to-rank operation (§2's rank-granular
+    host-to-MRAM transfer)."""
 
     dpu_index: int
     offset: int
@@ -85,7 +94,8 @@ class WriteSpec:
 
 @dataclass(frozen=True)
 class ReadSpec:
-    """One DPU's slice of a read-from-rank operation."""
+    """One DPU's slice of a read-from-rank operation (§2's rank-granular
+    MRAM-to-host transfer)."""
 
     dpu_index: int
     offset: int
@@ -93,13 +103,18 @@ class ReadSpec:
 
 
 class Rank:
-    """One UPMEM rank (64 DPUs across 8 chips)."""
+    """One UPMEM rank: 64 DPUs across 8 chips behind one CI (§2, Fig. 1;
+    the paper's allocation and transfer granularity)."""
 
     def __init__(self, config: RankConfig,
-                 cost: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
         self.cost = cost
         self.index = config.index
+        #: Live telemetry; shares the machine registry when the rank
+        #: belongs to a :class:`~repro.hardware.machine.Machine`.
+        self.obs = RankInstruments(metrics or MetricsRegistry(), config.index)
         self.dpus: List[Dpu] = [
             Dpu(config.index, i) for i in range(config.functional_dpus)
         ]
@@ -168,7 +183,9 @@ class Rank:
             )
         self.write_ops += 1
         self.bytes_written += total
-        return self._transfer_duration(total, len(specs), rust_interleave)
+        duration = self._transfer_duration(total, len(specs), rust_interleave)
+        self.obs.xfer("write", total, duration)
+        return duration
 
     def read_mram(self, specs: Sequence[ReadSpec],
                   rust_interleave: bool = False) -> Tuple[List[np.ndarray], float]:
@@ -185,6 +202,7 @@ class Rank:
         self.read_ops += 1
         self.bytes_read += total
         duration = self._transfer_duration(total, len(specs), rust_interleave)
+        self.obs.xfer("read", total, duration)
         return out, duration
 
     # -- execution -----------------------------------------------------------
@@ -199,7 +217,7 @@ class Rank:
         The launch also performs the mandatory CI boot sequence.
         """
         indices = list(dpu_indices)
-        self.ci.counters.record(CiCommand.BOOT, len(indices))
+        self.ci.record(CiCommand.BOOT, len(indices))
         slowest = 0.0
         for idx in indices:
             dpu = self.dpu(idx)
@@ -210,11 +228,13 @@ class Rank:
                 # A crashed kernel leaves the DPU in the FAULT state the
                 # CI reports; it must not stay RUNNING forever.
                 dpu.fault()
+                self.obs.dpu_fault()
                 raise
             dpu.finish_run(stats)
             duration = (self.cost.pipeline_time(stats.tasklet_instructions)
                         + self.cost.dma_time(stats.dma_ops, stats.dma_bytes))
             slowest = max(slowest, duration)
+        self.obs.launch(len(indices), slowest)
         return slowest
 
     # -- lifecycle ---------------------------------------------------------------
@@ -227,7 +247,8 @@ class Rank:
         """
         for dpu in self.dpus:
             dpu.reset()
-        self.ci.counters.record(CiCommand.RESET)
+        self.ci.record(CiCommand.RESET)
+        self.obs.reset()
         return self.cost.manager_reset
 
     def is_clean(self) -> bool:

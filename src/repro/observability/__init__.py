@@ -1,0 +1,42 @@
+"""Live metrics for the simulated vPIM stack.
+
+The paper explains *where* virtualization time goes (Figs. 12-16); this
+package makes those breakdowns observable while a run is in flight
+instead of only in post-hoc traces.  See ``docs/observability.md`` for
+the full metric catalog and ``docs/architecture.md`` for where each
+instrumented layer sits in the stack.
+
+- :mod:`~repro.observability.metrics` — ``Counter`` / ``Gauge`` /
+  ``Histogram`` families in a :class:`MetricsRegistry`;
+- :mod:`~repro.observability.catalog` — the declared metric set shared by
+  code, docs, and tests;
+- :mod:`~repro.observability.instruments` — per-component bindings;
+- :mod:`~repro.observability.export` — Prometheus-text and JSON
+  exporters (``repro metrics`` prints these).
+"""
+
+from repro.observability.catalog import CATALOG, instrument, register_all
+from repro.observability.export import (
+    render_json,
+    render_prometheus,
+    save_snapshot,
+    snapshot_dict,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CATALOG",
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "instrument",
+    "register_all",
+    "render_json",
+    "render_prometheus",
+    "save_snapshot",
+    "snapshot_dict",
+]

@@ -1,0 +1,227 @@
+"""The metric catalog: every metric this codebase may emit, declared once.
+
+Components never call the registry with ad-hoc names; they go through
+:func:`instrument`, which only accepts names declared here.  That makes
+the catalog the single source of truth three consumers share:
+
+- the instrumentation layer (:mod:`repro.observability.instruments`);
+- ``docs/observability.md``, whose metric table is validated against this
+  module by the docs-check test (``tests/test_docs.py``);
+- :func:`register_all`, which pre-registers every family so an exporter
+  can render a complete (if zero-valued) snapshot before any traffic.
+
+Each spec names the paper figure/section the metric supports, because the
+whole point of this subsystem is making the paper's breakdowns (Figs.
+12-16) observable live instead of post-hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.observability.metrics import MetricFamily, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric family."""
+
+    name: str
+    kind: str                      #: counter | gauge | histogram
+    help: str
+    labels: Tuple[str, ...] = ()
+    paper: str = ""                #: figure/section this metric supports
+    buckets: Optional[Tuple[float, ...]] = None
+
+    def create(self, registry: MetricsRegistry) -> MetricFamily:
+        if self.kind == "counter":
+            return registry.counter(self.name, self.help, self.labels)
+        if self.kind == "gauge":
+            return registry.gauge(self.name, self.help, self.labels)
+        return registry.histogram(self.name, self.help, self.labels,
+                                  buckets=self.buckets)
+
+
+_SPECS: Tuple[MetricSpec, ...] = (
+    # -- frontend: the guest driver's two message-count optimizations ------
+    MetricSpec(
+        "repro_frontend_prefetch_lookups_total", "counter",
+        "Prefetch-cache lookups in the guest driver, by outcome",
+        ("vm", "device", "result"), paper="Fig. 14 (hits column), §4.1"),
+    MetricSpec(
+        "repro_frontend_prefetch_refills_total", "counter",
+        "Cache-segment fetches triggered by prefetch misses",
+        ("vm", "device"), paper="§4.1 (prefetch cache)"),
+    MetricSpec(
+        "repro_frontend_batched_writes_total", "counter",
+        "Small MRAM writes absorbed by the batch buffer instead of sent",
+        ("vm", "device"), paper="Fig. 14 (batched column), §4.1"),
+    MetricSpec(
+        "repro_frontend_batch_flushes_total", "counter",
+        "Collective flushes of the write-batch buffer, by trigger",
+        ("vm", "device", "reason"), paper="§4.1 (request batching)"),
+    MetricSpec(
+        "repro_frontend_requests_total", "counter",
+        "virtio-pim requests actually sent on the transferq, by op code",
+        ("vm", "device", "kind"), paper="Fig. 14 (messages column)"),
+    MetricSpec(
+        "repro_frontend_request_seconds", "histogram",
+        "Simulated guest->VMM->guest round-trip latency per request",
+        ("vm", "device", "kind"), paper="Fig. 13 (request time)"),
+    MetricSpec(
+        "repro_virtio_queue_depth", "gauge",
+        "Descriptor chains outstanding on a virtqueue",
+        ("vm", "device", "queue"), paper="Appendix A.1 (512-slot transferq)"),
+    MetricSpec(
+        "repro_virtio_kicks_total", "counter",
+        "Guest notifications (trapped MMIO writes) per virtqueue",
+        ("vm", "device", "queue"), paper="§3.4 (transition cost)"),
+
+    # -- backend: the device model inside Firecracker ----------------------
+    MetricSpec(
+        "repro_backend_requests_total", "counter",
+        "Requests processed by the VMM backend, by op code and bound rank",
+        ("vm", "device", "rank", "kind"), paper="§4.2"),
+    MetricSpec(
+        "repro_backend_request_seconds", "histogram",
+        "Simulated backend worker time per request (deser+translate+data)",
+        ("vm", "device", "kind"), paper="Fig. 13 (Deser/T-data steps)"),
+    MetricSpec(
+        "repro_backend_translation_seconds", "histogram",
+        "Simulated threaded GPA->HVA translation time per data request",
+        ("vm", "device"), paper="§4.2 (8 translation threads)"),
+    MetricSpec(
+        "repro_backend_translated_pages_total", "counter",
+        "Guest pages translated for zero-copy access",
+        ("vm", "device"), paper="§4.2 (zero copy)"),
+    MetricSpec(
+        "repro_backend_interleave_seconds", "histogram",
+        "Simulated data-path time (byte interleave + copy) per transfer",
+        ("vm", "device"), paper="Fig. 11 (C vs Rust data path)"),
+    MetricSpec(
+        "repro_backend_batch_replay_records_total", "counter",
+        "Buffered small writes replayed as individual rank operations",
+        ("vm", "device"), paper="§4.1 (batching merges messages, not ops)"),
+
+    # -- manager: host-wide rank arbitration --------------------------------
+    MetricSpec(
+        "repro_manager_state_transitions_total", "counter",
+        "Rank-table state transitions (ALLO/NAAV/NANA lifecycle)",
+        ("from_state", "to_state"), paper="Fig. 5, §3.5"),
+    MetricSpec(
+        "repro_manager_allocations_total", "counter",
+        "Rank allocation requests, by outcome",
+        ("outcome",), paper="§3.5 (allocation policy order)"),
+    MetricSpec(
+        "repro_manager_alloc_wait_seconds", "histogram",
+        "Simulated time a requester waited for a rank (incl. reset waits)",
+        (), paper="§4.2 (manager overhead)"),
+    MetricSpec(
+        "repro_manager_resets_total", "counter",
+        "Isolation resets scheduled after a rank release",
+        (), paper="§3.5 (reset-for-isolation)"),
+    MetricSpec(
+        "repro_manager_ranks", "gauge",
+        "Ranks currently in each lifecycle state",
+        ("state",), paper="Fig. 5"),
+
+    # -- hardware: per-rank operation telemetry -----------------------------
+    MetricSpec(
+        "repro_rank_xfer_ops_total", "counter",
+        "Rank transfer operations, by direction",
+        ("rank", "direction"), paper="Fig. 12 (W-rank/R-rank counts)"),
+    MetricSpec(
+        "repro_rank_xfer_bytes_total", "counter",
+        "Bytes moved between host and MRAM banks, by direction",
+        ("rank", "direction"), paper="Fig. 9c (size sensitivity)"),
+    MetricSpec(
+        "repro_rank_xfer_seconds", "histogram",
+        "Simulated duration of each rank transfer operation",
+        ("rank", "direction"), paper="Fig. 13 (T-data step)"),
+    MetricSpec(
+        "repro_rank_launches_total", "counter",
+        "Rank-level program launches",
+        ("rank",), paper="§2 (launch runs to completion)"),
+    MetricSpec(
+        "repro_rank_dpu_boots_total", "counter",
+        "Individual DPU boots performed by launches",
+        ("rank",), paper="§2"),
+    MetricSpec(
+        "repro_rank_launch_seconds", "histogram",
+        "Simulated duration of each launch (slowest DPU of the rank)",
+        ("rank",), paper="Fig. 8 (DPU segment)"),
+    MetricSpec(
+        "repro_rank_ci_ops_total", "counter",
+        "Control-interface operations, by command kind",
+        ("rank", "command"), paper="Fig. 12 (CI bar), §5.3.1"),
+    MetricSpec(
+        "repro_rank_resets_total", "counter",
+        "Hardware resets (manager-triggered isolation wipes)",
+        ("rank",), paper="§3.5"),
+    MetricSpec(
+        "repro_dpu_faults_total", "counter",
+        "DPU kernels that faulted during a launch",
+        ("rank",), paper="§2 (CI-reported FAULT state)"),
+
+    # -- VM lifecycle ------------------------------------------------------
+    MetricSpec(
+        "repro_vm_boots_total", "counter",
+        "microVMs booted by the Firecracker launcher",
+        (), paper="§3.2"),
+    MetricSpec(
+        "repro_vm_boot_seconds", "histogram",
+        "Simulated boot time per microVM (base + per-device cost)",
+        (), paper="§3.2 (up to 2 ms per vUPMEM device)"),
+    MetricSpec(
+        "repro_vm_vupmem_devices", "gauge",
+        "vUPMEM devices attached to each VM",
+        ("vm",), paper="§3.3 (vUPMEM booking)"),
+
+    # -- sessions ----------------------------------------------------------
+    MetricSpec(
+        "repro_session_runs_total", "counter",
+        "Application executions, by transport mode and verification result",
+        ("app", "mode", "verified"), paper="§5 (evaluation runs)"),
+    MetricSpec(
+        "repro_session_run_seconds", "histogram",
+        "Simulated end-to-end application time per run",
+        ("app", "mode"), paper="Fig. 8 (total time)"),
+
+    # -- trace bridge ------------------------------------------------------
+    MetricSpec(
+        "repro_trace_events_total", "counter",
+        "Events mirrored from the Chrome-trace tracer, by category",
+        ("category",), paper="Figs. 12-16 (post-hoc breakdowns)"),
+    MetricSpec(
+        "repro_trace_dropped_events_total", "counter",
+        "Trace events dropped after the tracer's event cap",
+        (), paper="implementation backstop (no paper counterpart)"),
+)
+
+#: Name -> spec for quick lookup.
+CATALOG: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def instrument(registry: MetricsRegistry, name: str) -> MetricFamily:
+    """Create/fetch the family for a *cataloged* metric name.
+
+    Raises :class:`~repro.errors.ObservabilityError` for names missing
+    from the catalog, so instrumentation cannot drift from the documented
+    metric set.
+    """
+    spec = CATALOG.get(name)
+    if spec is None:
+        raise ObservabilityError(
+            f"metric {name!r} is not in the catalog "
+            "(add it to repro/observability/catalog.py and "
+            "docs/observability.md)"
+        )
+    return spec.create(registry)
+
+
+def register_all(registry: MetricsRegistry) -> None:
+    """Pre-register every cataloged family (zero-valued until traffic)."""
+    for spec in _SPECS:
+        spec.create(registry)

@@ -1,0 +1,126 @@
+"""Snapshot exporters: Prometheus text exposition format and JSON.
+
+``render_prometheus`` emits the text format a Prometheus server scrapes
+(`HELP`/`TYPE` headers, one sample per line, cumulative ``le`` buckets
+for histograms); ``render_json`` emits the same snapshot as a plain data
+structure for programmatic consumption (dashboards, the test suite,
+``repro metrics --format json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.observability.metrics import (
+    HistogramChild,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _render_family(family: MetricFamily) -> List[str]:
+    lines = [
+        f"# HELP {family.name} {_escape_help(family.help)}",
+        f"# TYPE {family.name} {family.kind}",
+    ]
+    for labels, child in family.samples():
+        if isinstance(child, HistogramChild):
+            for bound, cumulative in child.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else format_value(bound)
+                extra = 'le="' + le + '"'
+                lines.append(
+                    f"{family.name}_bucket{_label_str(labels, extra=extra)}"
+                    f" {cumulative}"
+                )
+            lines.append(f"{family.name}_sum{_label_str(labels)} "
+                         f"{format_value(child.sum)}")
+            lines.append(f"{family.name}_count{_label_str(labels)} "
+                         f"{child.count}")
+        else:
+            lines.append(f"{family.name}{_label_str(labels)} "
+                         f"{format_value(child.value)}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_dict(registry: MetricsRegistry) -> dict:
+    """The registry as plain data (the JSON exporter's payload)."""
+    metrics = []
+    for family in registry.collect():
+        samples = []
+        for labels, child in family.samples():
+            if isinstance(child, HistogramChild):
+                samples.append({
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": [
+                        {"le": ("+Inf" if math.isinf(bound)
+                                else bound),
+                         "count": cumulative}
+                        for bound, cumulative in child.cumulative_buckets()
+                    ],
+                })
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics.append({
+            "name": family.name,
+            "type": family.kind,
+            "help": family.help,
+            "label_names": list(family.label_names),
+            "samples": samples,
+        })
+    return {"metrics": metrics}
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The full registry as a JSON document."""
+    return json.dumps(snapshot_dict(registry), indent=indent)
+
+
+def save_snapshot(registry: MetricsRegistry, path: str,
+                  fmt: str = "prom") -> None:
+    """Write a snapshot to ``path`` in ``prom`` or ``json`` format."""
+    if fmt == "prom":
+        payload = render_prometheus(registry)
+    elif fmt == "json":
+        payload = render_json(registry)
+    else:
+        raise ValueError(f"unknown metrics format {fmt!r} (prom|json)")
+    with open(path, "w") as handle:
+        handle.write(payload)

@@ -1,0 +1,225 @@
+"""Per-component instrument bindings.
+
+Each class here binds one component's identity labels (rank index, device
+id, ...) once at construction and exposes intention-revealing methods the
+component calls on its hot path (``obs.prefetch_hit(...)`` instead of
+five lines of registry plumbing).  All metric names go through the
+catalog, so a binding cannot emit an undocumented metric.
+"""
+
+from __future__ import annotations
+
+from repro.observability.catalog import instrument
+from repro.observability.metrics import MetricsRegistry
+
+
+def _vm_of(device_id: str) -> str:
+    """The VM identity embedded in a device id (``vm-0.vupmem1`` -> ``vm-0``)."""
+    return device_id.split(".", 1)[0]
+
+
+class RankInstruments:
+    """Telemetry of one physical (or emulated) rank."""
+
+    def __init__(self, registry: MetricsRegistry, rank_index: int) -> None:
+        self.registry = registry
+        rank = str(rank_index)
+        self._xfer_ops = instrument(registry, "repro_rank_xfer_ops_total")
+        self._xfer_bytes = instrument(registry, "repro_rank_xfer_bytes_total")
+        self._xfer_seconds = instrument(registry, "repro_rank_xfer_seconds")
+        self._launches = instrument(
+            registry, "repro_rank_launches_total").labels(rank=rank)
+        self._dpu_boots = instrument(
+            registry, "repro_rank_dpu_boots_total").labels(rank=rank)
+        self._launch_seconds = instrument(
+            registry, "repro_rank_launch_seconds").labels(rank=rank)
+        self._ci_ops = instrument(registry, "repro_rank_ci_ops_total")
+        self._resets = instrument(
+            registry, "repro_rank_resets_total").labels(rank=rank)
+        self._dpu_faults = instrument(
+            registry, "repro_dpu_faults_total").labels(rank=rank)
+        self._rank = rank
+
+    def xfer(self, direction: str, nbytes: int, duration: float) -> None:
+        self._xfer_ops.labels(rank=self._rank, direction=direction).inc()
+        self._xfer_bytes.labels(rank=self._rank, direction=direction
+                                ).inc(nbytes)
+        self._xfer_seconds.labels(rank=self._rank, direction=direction
+                                  ).observe(duration)
+
+    def launch(self, nr_dpus: int, duration: float) -> None:
+        self._launches.inc()
+        self._dpu_boots.inc(nr_dpus)
+        self._launch_seconds.observe(duration)
+
+    def dpu_fault(self) -> None:
+        self._dpu_faults.inc()
+
+    def ci(self, command: str, count: int = 1) -> None:
+        self._ci_ops.labels(rank=self._rank, command=command).inc(count)
+
+    def reset(self) -> None:
+        self._resets.inc()
+
+
+class FrontendInstruments:
+    """Telemetry of one vUPMEM frontend (the guest driver side)."""
+
+    def __init__(self, registry: MetricsRegistry, device_id: str) -> None:
+        self.registry = registry
+        ids = dict(vm=_vm_of(device_id), device=device_id)
+        lookups = instrument(registry,
+                             "repro_frontend_prefetch_lookups_total")
+        self._hits = lookups.labels(result="hit", **ids)
+        self._misses = lookups.labels(result="miss", **ids)
+        self._refills = instrument(
+            registry, "repro_frontend_prefetch_refills_total").labels(**ids)
+        self._batched = instrument(
+            registry, "repro_frontend_batched_writes_total").labels(**ids)
+        self._flushes = instrument(registry,
+                                   "repro_frontend_batch_flushes_total")
+        self._requests = instrument(registry, "repro_frontend_requests_total")
+        self._request_seconds = instrument(registry,
+                                           "repro_frontend_request_seconds")
+        self._queue_depth = instrument(registry, "repro_virtio_queue_depth")
+        self._kicks = instrument(registry, "repro_virtio_kicks_total")
+        self._ids = ids
+
+    def prefetch_hit(self, count: int = 1) -> None:
+        self._hits.inc(count)
+
+    def prefetch_miss(self, count: int = 1) -> None:
+        self._misses.inc(count)
+
+    def prefetch_refill(self, count: int = 1) -> None:
+        self._refills.inc(count)
+
+    def batched_writes(self, count: int) -> None:
+        self._batched.inc(count)
+
+    def batch_flush(self, reason: str) -> None:
+        self._flushes.labels(reason=reason, **self._ids).inc()
+
+    def request(self, kind: str, duration: float) -> None:
+        self._requests.labels(kind=kind, **self._ids).inc()
+        self._request_seconds.labels(kind=kind, **self._ids).observe(duration)
+
+    def request_count(self, kind: str, count: int) -> None:
+        """Requests accounted arithmetically (no modeled round trip)."""
+        self._requests.labels(kind=kind, **self._ids).inc(count)
+
+    def queue_depth(self, queue: str, depth: int) -> None:
+        self._queue_depth.labels(queue=queue, **self._ids).set(depth)
+
+    def kick(self, queue: str) -> None:
+        self._kicks.labels(queue=queue, **self._ids).inc()
+
+
+class BackendInstruments:
+    """Telemetry of one vUPMEM backend (the VMM device model side)."""
+
+    def __init__(self, registry: MetricsRegistry, device_id: str) -> None:
+        self.registry = registry
+        ids = dict(vm=_vm_of(device_id), device=device_id)
+        self._requests = instrument(registry, "repro_backend_requests_total")
+        self._request_seconds = instrument(registry,
+                                           "repro_backend_request_seconds")
+        self._translation = instrument(
+            registry, "repro_backend_translation_seconds").labels(**ids)
+        self._pages = instrument(
+            registry, "repro_backend_translated_pages_total").labels(**ids)
+        self._interleave = instrument(
+            registry, "repro_backend_interleave_seconds").labels(**ids)
+        self._replays = instrument(
+            registry, "repro_backend_batch_replay_records_total").labels(**ids)
+        self._ids = ids
+
+    def request(self, kind: str, rank: str, duration: float) -> None:
+        self._requests.labels(kind=kind, rank=rank, **self._ids).inc()
+        self._request_seconds.labels(kind=kind, **self._ids).observe(duration)
+
+    def translation(self, pages: int, duration: float) -> None:
+        self._pages.inc(pages)
+        self._translation.observe(duration)
+
+    def interleave(self, duration: float) -> None:
+        self._interleave.observe(duration)
+
+    def batch_replay(self, records: int) -> None:
+        self._replays.inc(records)
+
+
+class ManagerInstruments:
+    """Telemetry of the host-wide rank manager."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._transitions = instrument(
+            registry, "repro_manager_state_transitions_total")
+        self._allocations = instrument(registry,
+                                       "repro_manager_allocations_total")
+        self._wait = instrument(registry, "repro_manager_alloc_wait_seconds")
+        self._resets = instrument(registry, "repro_manager_resets_total")
+        self._ranks = instrument(registry, "repro_manager_ranks")
+
+    def transition(self, from_state: str, to_state: str) -> None:
+        self._transitions.labels(from_state=from_state,
+                                 to_state=to_state).inc()
+
+    def allocation(self, outcome: str, wait_seconds: float) -> None:
+        self._allocations.labels(outcome=outcome).inc()
+        self._wait.observe(wait_seconds)
+
+    def reset_scheduled(self) -> None:
+        self._resets.inc()
+
+    def set_rank_states(self, counts: dict) -> None:
+        """``counts`` maps state name -> number of ranks in that state."""
+        for state, count in counts.items():
+            self._ranks.labels(state=state).set(count)
+
+
+class VmInstruments:
+    """Telemetry of the Firecracker launcher."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._boots = instrument(registry, "repro_vm_boots_total")
+        self._boot_seconds = instrument(registry, "repro_vm_boot_seconds")
+        self._devices = instrument(registry, "repro_vm_vupmem_devices")
+
+    def boot(self, vm_id: str, nr_devices: int, duration: float) -> None:
+        self._boots.inc()
+        self._boot_seconds.observe(duration)
+        self._devices.labels(vm=vm_id).set(nr_devices)
+
+
+class SessionInstruments:
+    """Telemetry of execution sessions (one application run each)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._runs = instrument(registry, "repro_session_runs_total")
+        self._seconds = instrument(registry, "repro_session_run_seconds")
+
+    def run(self, app: str, mode: str, verified: bool,
+            duration: float) -> None:
+        self._runs.labels(app=app, mode=mode,
+                          verified=str(bool(verified)).lower()).inc()
+        self._seconds.labels(app=app, mode=mode).observe(duration)
+
+
+class TraceInstruments:
+    """The tracer->metrics bridge (one run, both artifacts)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._events = instrument(registry, "repro_trace_events_total")
+        self._dropped = instrument(registry,
+                                   "repro_trace_dropped_events_total")
+
+    def event(self, category: str) -> None:
+        self._events.labels(category=category).inc()
+
+    def dropped(self) -> None:
+        self._dropped.inc()

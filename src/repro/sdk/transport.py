@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel
+from repro.observability import MetricsRegistry
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.profile import Profiler
 from repro.sdk.transfer import TransferMatrix
@@ -72,10 +73,14 @@ class Transport(abc.ABC):
     """Factory for rank channels plus the shared clock/profiler/cost model."""
 
     def __init__(self, clock: SimClock, cost: CostModel,
-                 profiler: Optional[Profiler] = None) -> None:
+                 profiler: Optional[Profiler] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.clock = clock
         self.cost = cost
         self.profiler = profiler or Profiler(clock)
+        #: Registry shared with the machine behind this transport; sessions
+        #: record their run metrics here.
+        self.metrics = metrics or MetricsRegistry()
 
     @property
     @abc.abstractmethod

@@ -27,7 +27,7 @@ from repro.virt.vm import Vm
 
 @dataclass
 class ApiResponse:
-    """Status code plus a JSON-style body."""
+    """Status code plus a JSON-style body (a §3.2 API-server reply)."""
 
     status: int
     body: Dict[str, object] = field(default_factory=dict)
@@ -38,7 +38,8 @@ class ApiResponse:
 
 
 class ApiServer:
-    """One listening socket per Firecracker process."""
+    """One listening socket per Firecracker process (§3.2's API thread
+    receiving the §3.3 vUPMEM booking)."""
 
     def __init__(self, firecracker: Firecracker) -> None:
         self.firecracker = firecracker

@@ -25,6 +25,8 @@ from repro.config import BACKEND_WORKER_THREADS, TRANSLATION_THREADS
 from repro.errors import DeviceNotLinkedError, SerializationError
 from repro.driver.driver import PerfModeMapping, UpmemDriver
 from repro.hardware.timing import CostModel
+from repro.observability import MetricsRegistry
+from repro.observability.instruments import BackendInstruments
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.transfer import DpuEntry, TransferMatrix, XferKind
 from repro.virt.guest_memory import GuestMemory
@@ -41,7 +43,8 @@ from repro.virt.virtio import Descriptor
 
 @dataclass
 class BatchRecord:
-    """One buffered small write replayed by the backend at flush time."""
+    """One buffered small write replayed by the backend at flush time
+    (§4.1: batching merges messages, not hardware operations)."""
 
     dpu_index: int
     offset: int
@@ -50,7 +53,7 @@ class BatchRecord:
 
 @dataclass
 class BackendResult:
-    """Outcome of processing one request."""
+    """Outcome of processing one request (duration feeds the Fig. 13 steps)."""
 
     duration: float
     steps: Dict[str, float] = field(default_factory=dict)
@@ -58,13 +61,15 @@ class BackendResult:
 
 
 class VUpmemBackend:
-    """One vUPMEM device's backend, bound to at most one physical rank."""
+    """One vUPMEM device's backend, bound to at most one physical rank
+    (the §4.2 device model inside Firecracker)."""
 
     def __init__(self, device_id: str, driver: UpmemDriver,
                  guest_memory: GuestMemory, cost: CostModel,
                  rust_data_path: bool = False,
                  translation_threads: int = TRANSLATION_THREADS,
-                 worker_threads: int = BACKEND_WORKER_THREADS) -> None:
+                 worker_threads: int = BACKEND_WORKER_THREADS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.device_id = device_id
         self.driver = driver
         self.memory = guest_memory
@@ -74,6 +79,10 @@ class VUpmemBackend:
         self.worker_threads = worker_threads
         self.mapping: Optional[PerfModeMapping] = None
         self.requests_processed = 0
+        #: Live telemetry (translation/interleave timings, request counts
+        #: labeled by the currently bound rank).
+        self.obs = BackendInstruments(metrics or MetricsRegistry(),
+                                      device_id)
 
     # -- rank linking -------------------------------------------------------
 
@@ -111,6 +120,17 @@ class VUpmemBackend:
         """Handle one transferq request; returns timing and any payload."""
         self.requests_processed += 1
         header, entries = deserialize_request(chain, self.memory)
+        # Rank bound at arrival time (RELEASE unlinks while handling).
+        rank = str(self.mapping.rank.index) if self.mapping else "none"
+        result = self._handle(header, entries, program, batch_records)
+        self.obs.request(header.kind.name.lower(), rank, result.duration)
+        return result
+
+    def _handle(self, header: RequestHeader,
+                entries: List[SerializedEntry],
+                program: Optional[DpuProgram],
+                batch_records: Optional[List[BatchRecord]],
+                ) -> BackendResult:
         kind = header.kind
 
         if kind is RequestKind.GET_CONFIG:
@@ -155,6 +175,7 @@ class VUpmemBackend:
                           / effective_threads)
         for entry in entries:
             self.memory.translate_pages(entry.page_gpas)  # bounds-checked
+        self.obs.translation(total_pages, translate_time)
 
         dispatch_time = self.cost.backend_dispatch
 
@@ -164,6 +185,7 @@ class VUpmemBackend:
             else:
                 matrix = self._rebuild_matrix(header, entries, XferKind.TO_DPU)
                 tdata = mapping.write(matrix, rust_interleave=self.rust_data_path)
+            self.obs.interleave(tdata)
             steps = {"Deser": deser_time + translate_time, "T-data": tdata}
             duration = deser_time + translate_time + dispatch_time + tdata
             return BackendResult(duration=duration, steps=steps)
@@ -174,6 +196,7 @@ class VUpmemBackend:
                 matrix, rust_interleave=self.rust_data_path)
             for entry, buf in zip(entries, buffers):
                 scatter_entry_data(entry, buf, self.memory)
+            self.obs.interleave(tdata)
             steps = {"Deser": deser_time + translate_time, "T-data": tdata}
             duration = deser_time + translate_time + dispatch_time + tdata
             return BackendResult(duration=duration, steps=steps,
@@ -212,4 +235,5 @@ class VUpmemBackend:
                           size=record.data.size, data=record.data)],
             )
             total += mapping.write(matrix, rust_interleave=self.rust_data_path)
+        self.obs.batch_replay(len(records))
         return total

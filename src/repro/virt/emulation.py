@@ -53,7 +53,8 @@ def emulated_cost_model(base: CostModel,
 
 
 class EmulatedRankPool:
-    """Creates and tracks software ranks on one machine."""
+    """Creates and tracks software ranks on one machine (§7's rank
+    oversubscription extension, implemented)."""
 
     def __init__(self, machine: Machine,
                  slowdown: float = DEFAULT_SLOWDOWN,

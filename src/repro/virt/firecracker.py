@@ -25,6 +25,7 @@ from repro.errors import VmConfigError
 from repro.driver.driver import UpmemDriver
 from repro.hardware.machine import Machine
 from repro.hardware.timing import CostModel
+from repro.observability.instruments import VmInstruments
 from repro.sdk.profile import Profiler
 from repro.virt.backend import VUpmemBackend
 from repro.virt.frontend import VUpmemFrontend
@@ -44,7 +45,8 @@ _vm_ids = itertools.count()
 
 @dataclass
 class VmConfig:
-    """What the host sends to the Firecracker API server."""
+    """What the host sends to the Firecracker API server (§3.3 "vUPMEM
+    Booking": vCPUs, memory, number of vUPMEM devices)."""
 
     vcpus: int = 16
     mem_bytes: int = 128 << 30
@@ -83,6 +85,8 @@ class Firecracker:
         self.driver = driver or UpmemDriver(machine)
         self.manager = manager or Manager(machine, self.driver)
         self.cost: CostModel = machine.cost
+        #: Live telemetry (shares the machine registry): boots + devices.
+        self.obs = VmInstruments(machine.metrics)
 
     def launch_vm(self, config: VmConfig) -> Vm:
         """Boot a microVM with the requested vUPMEM devices attached."""
@@ -102,6 +106,7 @@ class Firecracker:
             backend = VUpmemBackend(
                 device_id=device_id, driver=self.driver, guest_memory=memory,
                 cost=self.cost, rust_data_path=not config.opts.c_enhancement,
+                metrics=self.machine.metrics,
             )
             # One MMIO window + IRQ per device, passed to the guest on
             # the kernel command line (Section 3.2).
@@ -120,6 +125,7 @@ class Firecracker:
                 device_id=device_id, queues=queues, memory=memory,
                 backend=backend, kvm=kvm, opts=config.opts, cost=self.cost,
                 profiler=profiler, mmio=mmio,
+                metrics=self.machine.metrics,
             )
             vm.devices.append(VUpmemDevice(device_id=device_id,
                                            frontend=frontend,
@@ -131,4 +137,5 @@ class Firecracker:
 
         self.machine.clock.advance(boot_time)
         vm.boot_time = boot_time
+        self.obs.boot(vm_id, config.nr_vupmem, boot_time)
         return vm

@@ -25,6 +25,8 @@ import numpy as np
 from repro.config import MRAM_HEAP_SYMBOL, MRAM_SIZE, PAGE_SIZE
 from repro.errors import TransferError
 from repro.hardware.timing import CostModel
+from repro.observability import MetricsRegistry
+from repro.observability.instruments import FrontendInstruments
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.profile import OP_CI, OP_READ, OP_WRITE, Profiler
 from repro.sdk.transfer import Target, TransferMatrix, XferKind, DpuEntry
@@ -49,7 +51,8 @@ PAGE_STRUCT_BYTES = 64
 
 
 class PrefetchCache:
-    """Per-DPU read cache of one contiguous MRAM segment each."""
+    """Per-DPU read cache of one contiguous MRAM segment each (§4.1's
+    prefetching optimization; Fig. 14's hits column)."""
 
     def __init__(self, pages_per_dpu: int) -> None:
         self.capacity = pages_per_dpu * PAGE_SIZE
@@ -83,7 +86,8 @@ class PrefetchCache:
 
 
 class BatchBuffer:
-    """Per-DPU accumulation buffer for small MRAM writes."""
+    """Per-DPU accumulation buffer for small MRAM writes (§4.1's request
+    batching; Fig. 14's batched column)."""
 
     def __init__(self, pages_per_dpu: int) -> None:
         self.capacity = pages_per_dpu * PAGE_SIZE
@@ -125,13 +129,15 @@ class BatchBuffer:
 
 
 class VUpmemFrontend:
-    """The guest-side driver of one vUPMEM device."""
+    """The guest-side driver of one vUPMEM device (the §4.1 frontend
+    kernel module)."""
 
     def __init__(self, device_id: str, queues: VirtioPimQueues,
                  memory: GuestMemory, backend: VUpmemBackend, kvm: Kvm,
                  opts: OptimizationConfig, cost: CostModel,
                  profiler: Profiler,
-                 mmio: Optional[MmioWindow] = None) -> None:
+                 mmio: Optional[MmioWindow] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.device_id = device_id
         self.queues = queues
         self.memory = memory
@@ -144,6 +150,11 @@ class VUpmemFrontend:
         self.batch = BatchBuffer(opts.batch_pages_per_dpu)
         self.device_config: Optional[dict] = None
         self.mmio = mmio or MmioWindow(base_address=0xD000_0000, irq=5)
+        #: Live telemetry (cache hits/misses, flush reasons, request
+        #: latencies); shares the machine registry when built by
+        #: :class:`~repro.virt.firecracker.Firecracker`.
+        self.obs = FrontendInstruments(metrics or MetricsRegistry(),
+                                       device_id)
 
     # -- core message path --------------------------------------------------
 
@@ -170,7 +181,9 @@ class VUpmemFrontend:
             chain = [write_buffer(self.memory, header.pack())]
 
         request_id = self.queues.transferq.add_chain(chain)
+        self.obs.queue_depth("transferq", self.queues.transferq.pending)
         self.queues.transferq.kick()
+        self.obs.kick("transferq")
         self.mmio.write(Reg.QUEUE_NOTIFY, 0)   # trapped MMIO write
         if self.opts.vhost_vsock:
             # vhost-style path (Section 7 extension): the request is
@@ -201,8 +214,10 @@ class VUpmemFrontend:
         self.queues.transferq.pop_used()
         self.mmio.write(Reg.INTERRUPT_ACK, 1)
 
+        self.obs.queue_depth("transferq", self.queues.transferq.pending)
         self.profiler.messages.requests += 1
         duration = page_time + ser_time + int_time + result.duration + irq_time
+        self.obs.request(header.kind.name.lower(), duration)
 
         if header.kind is RequestKind.WRITE_RANK:
             self.profiler.record_wrank_step("Page", page_time)
@@ -238,10 +253,17 @@ class VUpmemFrontend:
 
     # -- batching ---------------------------------------------------------------
 
-    def _flush_batch(self) -> float:
-        """Send all buffered writes as one collective message."""
+    def _flush_batch(self, reason: str = "barrier") -> float:
+        """Send all buffered writes as one collective message.
+
+        ``reason`` labels the flush trigger in the metrics: ``capacity``
+        (buffer full), ``large_write``, ``read``, ``load``, ``launch``,
+        ``ci`` or ``release`` — every non-write request is a batching
+        barrier (§4.1).
+        """
         if self.batch.empty:
             return 0.0
+        self.obs.batch_flush(reason)
         records = self.batch.drain()
         # One wire entry per DPU carrying that DPU's buffered bytes.
         per_dpu: Dict[int, List[BatchRecord]] = {}
@@ -270,15 +292,16 @@ class VUpmemFrontend:
         if self.opts.request_batching and small:
             flush_time = 0.0
             if not self.batch.fits(matrix):
-                flush_time = self._flush_batch()
+                flush_time = self._flush_batch(reason="capacity")
             copied = self.batch.add(matrix)
             copy_time = (copied / self.cost.guest_copy_bandwidth
                          + 0.3e-6 * len(matrix.entries))
             self.profiler.messages.batched_writes += len(matrix.entries)
+            self.obs.batched_writes(len(matrix.entries))
             self.profiler.record_op(OP_WRITE, copy_time)
             return flush_time + copy_time
 
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="large_write")
         header = RequestHeader(kind=RequestKind.WRITE_RANK,
                                offset=matrix.offset, symbol=matrix.symbol)
         _, rt, _ = self._roundtrip(header, matrix=matrix)
@@ -287,7 +310,7 @@ class VUpmemFrontend:
 
     def read(self, matrix: TransferMatrix) -> Tuple[List[np.ndarray], float]:
         """read-from-rank, possibly served by the prefetch cache."""
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="read")
 
         cacheable = (self.opts.prefetch_cache
                      and matrix.target is Target.MRAM
@@ -301,8 +324,10 @@ class VUpmemFrontend:
                 serve = (copy_bytes / self.cost.guest_copy_bandwidth
                          + 0.3e-6 * len(matrix.entries))
                 self.profiler.messages.cache_hits += len(matrix.entries)
+                self.obs.prefetch_hit(len(matrix.entries))
                 self.profiler.record_op(OP_READ, serve)
                 return [h for h in hits if h is not None], duration + serve
+            self.obs.prefetch_miss(len(matrix.entries))
 
             # Miss: fetch a cache-sized segment per DPU in one request.
             seg_len = min(self.cache.capacity, MRAM_SIZE - matrix.offset)
@@ -318,6 +343,7 @@ class VUpmemFrontend:
                 data = self.memory.read(gpa, size)
                 self.cache.fill(dpu_index, matrix.offset, data)
             self.profiler.messages.cache_refills += len(matrix.entries)
+            self.obs.prefetch_refill(len(matrix.entries))
             buffers = []
             for entry in matrix.entries:
                 hit = self.cache.lookup(entry.dpu_index, matrix.offset,
@@ -337,7 +363,7 @@ class VUpmemFrontend:
         return buffers, duration + rt
 
     def load(self, program: DpuProgram) -> float:
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="load")
         self.cache.invalidate()
         binary_pages = (program.binary_size + PAGE_SIZE - 1) // PAGE_SIZE
         header = RequestHeader(kind=RequestKind.LOAD,
@@ -347,7 +373,7 @@ class VUpmemFrontend:
         return duration + rt
 
     def launch(self) -> float:
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="launch")
         self.cache.invalidate()
         header = RequestHeader(kind=RequestKind.LAUNCH)
         _, rt, _ = self._roundtrip(header)
@@ -361,7 +387,7 @@ class VUpmemFrontend:
         transition round trip — the paper's dominant overhead source for
         CI-heavy workloads like the checksum microbenchmark.
         """
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="ci")
         self.cache.invalidate()
         per_op = self.cost.ci_virt_roundtrip + self.cost.ci_op_native
         if self.opts.vhost_vsock:
@@ -379,6 +405,7 @@ class VUpmemFrontend:
             self.kvm.stats.vmexits += count - real
             self.kvm.stats.irq_injections += count - real
             self.profiler.messages.requests += count - real
+            self.obs.request_count("ci_op", count - real)
         total = duration + count * per_op
         self.profiler.record_op(OP_CI, count * per_op, count=count)
         return total
@@ -388,10 +415,12 @@ class VUpmemFrontend:
         flag = np.array([1 if linked else 0], dtype=np.uint8)
         self.queues.controlq.add_chain([write_buffer(self.memory, flag)])
         self.queues.controlq.kick()
+        self.obs.kick("controlq")
         self.queues.controlq.pop_avail()
+        self.obs.queue_depth("controlq", self.queues.controlq.pending)
 
     def release(self) -> float:
-        duration = self._flush_batch()
+        duration = self._flush_batch(reason="release")
         self.cache.invalidate()
         header = RequestHeader(kind=RequestKind.RELEASE)
         _, rt, _ = self._roundtrip(header)

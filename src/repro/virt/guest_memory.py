@@ -22,7 +22,8 @@ HVA_BASE = 0x7F00_0000_0000
 
 
 class GuestMemory:
-    """The VM's physical address space plus a bump page allocator.
+    """The VM's physical address space plus a bump page allocator (the GPA
+    space that §4.2's zero-copy translation resolves to HVAs).
 
     The allocator hands out contiguous page runs from a rolling arena;
     requests are synchronous, so pages can be recycled once the arena

@@ -21,13 +21,17 @@ from repro.hardware.timing import CostModel
 
 @dataclass
 class KvmStats:
+    """VMEXIT/IRQ counters of one VM (the transition counts whose cost
+    §3.4 identifies as the irreducible virtualization overhead)."""
+
     vmexits: int = 0
     irq_injections: int = 0
 
 
 @dataclass
 class Kvm:
-    """Trap/IRQ accounting for one VM."""
+    """Trap/IRQ accounting for one VM (§3.4: guest↔VMM world switches are
+    the irreducible virtualization cost)."""
 
     cost: CostModel
     stats: KvmStats = field(default_factory=KvmStats)

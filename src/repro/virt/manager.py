@@ -34,9 +34,12 @@ from repro.driver.driver import UpmemDriver
 from repro.hardware.clock import SimClock
 from repro.hardware.machine import Machine
 from repro.hardware.timing import CostModel
+from repro.observability.instruments import ManagerInstruments
 
 
 class RankState(enum.Enum):
+    """Rank lifecycle states of the manager's rank table (§3.5, Fig. 5)."""
+
     ALLO = "ALLO"   #: in use
     NAAV = "NAAV"   #: not allocated, available
     NANA = "NANA"   #: not allocated, not available (reset in progress)
@@ -44,7 +47,8 @@ class RankState(enum.Enum):
 
 @dataclass
 class RankRecord:
-    """One row of the manager's rank table."""
+    """One row of the manager's rank table (Fig. 5: index, status file,
+    state, assigned device)."""
 
     rank_index: int
     status_file: str
@@ -56,6 +60,8 @@ class RankRecord:
 
 @dataclass
 class ManagerStats:
+    """Cumulative manager counters backing the §4.2 overhead discussion."""
+
     allocations: int = 0
     nana_reuses: int = 0
     resets: int = 0
@@ -65,7 +71,8 @@ class ManagerStats:
 
 
 class Manager:
-    """The userspace manager daemon."""
+    """The userspace manager daemon (§3.5: one per host, arbitrating ranks
+    between VMs and native applications)."""
 
     #: Selectable NAAV-allocation policies.  The paper's prototype uses
     #: round-robin over the rank table; ``first_fit`` always picks the
@@ -93,6 +100,9 @@ class Manager:
         self.max_attempts = max_attempts
         self.policy = policy
         self.stats = ManagerStats()
+        #: Live telemetry (shares the machine registry): state transitions,
+        #: allocation outcomes and the rank-table population gauge.
+        self.obs = ManagerInstruments(machine.metrics)
         self._rr_cursor = 0
         self._freed_at: Dict[int, float] = {}
         #: Section 7 extension: hand out software-emulated ranks when the
@@ -112,6 +122,19 @@ class Manager:
             for rank in machine.ranks
         }
         driver.sysfs.subscribe(self._on_sysfs_write)
+        self._refresh_rank_gauge()
+
+    def _transition(self, record: RankRecord, to_state: RankState) -> None:
+        """Move ``record`` to ``to_state``, accounting the edge."""
+        self.obs.transition(record.state.value.lower(), to_state.value.lower())
+        record.state = to_state
+        self._refresh_rank_gauge()
+
+    def _refresh_rank_gauge(self) -> None:
+        counts = {state.value.lower(): 0 for state in RankState}
+        for record in self.rank_table.values():
+            counts[record.state.value.lower()] += 1
+        self.obs.set_rank_states(counts)
 
     # -- observer thread --------------------------------------------------------
 
@@ -124,7 +147,7 @@ class Manager:
                 # A native application (or a backend we told to map) took
                 # the rank; record it so VMs cannot double-allocate.
                 if record.state is not RankState.ALLO:
-                    record.state = RankState.ALLO
+                    self._transition(record, RankState.ALLO)
                     owner = content.split(":", 1)[1] if ":" in content else ""
                     record.assigned_device = owner or record.assigned_device
             else:
@@ -139,23 +162,26 @@ class Manager:
             # Emulated ranks are destroyed, not reset: the host memory is
             # simply freed, and nothing remains to leak.
             self.emulated_pool.destroy(record.rank_index)
+            self.obs.transition(record.state.value.lower(), "destroyed")
             del self.rank_table[record.rank_index]
+            self._refresh_rank_gauge()
             return
         record.last_owner = record.assigned_device
         record.assigned_device = None
-        record.state = RankState.NANA
+        self._transition(record, RankState.NANA)
         # Detection latency of the observer plus the memset of the rank.
         record.reset_done_at = (self.clock.now
                                 + self.cost.manager_observe_period
                                 + self.cost.manager_reset)
         self.stats.resets += 1
+        self.obs.reset_scheduled()
 
     def _settle(self, record: RankRecord) -> None:
         """Complete a finished reset: NANA -> NAAV with zeroed memory."""
         if (record.state is RankState.NANA
                 and self.clock.now >= record.reset_done_at):
             self.machine.rank(record.rank_index).reset()
-            record.state = RankState.NAAV
+            self._transition(record, RankState.NAAV)
             self._freed_at[record.rank_index] = record.reset_done_at
 
     # -- allocation ---------------------------------------------------------------
@@ -167,6 +193,7 @@ class Manager:
         for pending resets).  Returns the physical rank index; raises
         :class:`ManagerError` after ``max_attempts`` fruitless retries.
         """
+        arrived_at = self.clock.now
         for _attempt in range(self.max_attempts):
             for record in self.rank_table.values():
                 self._settle(record)
@@ -175,8 +202,10 @@ class Manager:
             for record in self.rank_table.values():
                 if (record.state is RankState.NANA
                         and record.last_owner == requester):
-                    record.state = RankState.ALLO
+                    self._transition(record, RankState.ALLO)
                     record.assigned_device = requester
+                    self.obs.allocation("nana_reuse",
+                                        self.clock.now - arrived_at)
                     self.clock.advance(self.cost.manager_alloc)
                     self.stats.allocations += 1
                     self.stats.nana_reuses += 1
@@ -186,9 +215,10 @@ class Manager:
             idx = self._pick_naav()
             if idx is not None:
                 record = self.rank_table[idx]
-                record.state = RankState.ALLO
+                self._transition(record, RankState.ALLO)
                 record.assigned_device = requester
                 record.last_owner = requester
+                self.obs.allocation("naav", self.clock.now - arrived_at)
                 self.clock.advance(self.cost.manager_alloc)
                 self.stats.allocations += 1
                 return record.rank_index
@@ -215,6 +245,8 @@ class Manager:
                 )
                 # No sysfs write yet: the backend's claim will mark it
                 # busy; a "free" write would look like an instant release.
+                self.obs.allocation("emulated", self.clock.now - arrived_at)
+                self._refresh_rank_gauge()
                 self.clock.advance(self.cost.manager_alloc)
                 self.stats.allocations += 1
                 self.stats.emulated_allocations += 1
@@ -225,6 +257,7 @@ class Manager:
             self.stats.waits += 1
 
         self.stats.abandoned += 1
+        self.obs.allocation("abandoned", self.clock.now - arrived_at)
         raise ManagerError(
             f"no rank available for {requester!r} after "
             f"{self.max_attempts} attempts"

@@ -36,7 +36,8 @@ from repro.virt.vm import VUpmemDevice
 
 @dataclass
 class DpuSnapshot:
-    """State of one DPU between launches."""
+    """State of one DPU between launches (§7 checkpoint/restore: launches
+    are the only consistent snapshot boundary)."""
 
     mram_segments: Dict[int, np.ndarray] = field(default_factory=dict)
     symbols: Dict[str, bytes] = field(default_factory=dict)
@@ -46,7 +47,8 @@ class DpuSnapshot:
 
 @dataclass
 class RankCheckpoint:
-    """A consistent snapshot of a rank's host-visible state."""
+    """A consistent snapshot of a rank's host-visible state (§7 device
+    migration between emulated and physical ranks)."""
 
     source_rank: int
     dpus: List[DpuSnapshot] = field(default_factory=list)

@@ -33,7 +33,8 @@ VENDOR_ID = 0x76504D49  # "vPMI"
 
 
 class Reg(enum.IntEnum):
-    """Register offsets (the virtio-mmio layout subset we model)."""
+    """Register offsets (the virtio-mmio layout subset we model; §3.2's
+    MMIO transport)."""
 
     MAGIC = 0x000
     VERSION = 0x004
@@ -52,7 +53,8 @@ class Reg(enum.IntEnum):
 
 
 class DeviceStatus(enum.IntFlag):
-    """The virtio device-status bits."""
+    """The virtio device-status bits (the driver–device handshake behind
+    §3.2's device initialization)."""
 
     RESET = 0
     ACKNOWLEDGE = 1
@@ -64,7 +66,8 @@ class DeviceStatus(enum.IntFlag):
 
 @dataclass
 class MmioWindow:
-    """One device's MMIO register window plus its assigned IRQ line."""
+    """One device's MMIO register window plus its assigned IRQ line (§3.2:
+    passed to the guest on the kernel command line)."""
 
     base_address: int
     irq: int

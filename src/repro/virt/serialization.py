@@ -51,7 +51,8 @@ _KIND_TO_XFER = {
 
 @dataclass
 class RequestHeader:
-    """The request-info buffer: op code plus addressing information."""
+    """The request-info buffer: op code plus addressing information (the
+    first descriptor of the Fig. 6/7 wire format)."""
 
     kind: RequestKind
     offset: int = 0
@@ -91,7 +92,8 @@ class RequestHeader:
 
 @dataclass
 class SerializedEntry:
-    """One DPU's slice after deserialization: metadata + page GPAs."""
+    """One DPU's slice after deserialization: metadata + page GPAs (the
+    per-DPU buffer pair of the Fig. 7 chain layout)."""
 
     dpu_index: int
     size: int
@@ -100,7 +102,8 @@ class SerializedEntry:
 
 @dataclass
 class SerializedRequest:
-    """A fully assembled descriptor chain plus accounting."""
+    """A fully assembled descriptor chain plus accounting (one transferq
+    message of the Appendix A.1 protocol)."""
 
     header: RequestHeader
     chain: List[Descriptor]

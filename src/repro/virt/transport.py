@@ -21,7 +21,8 @@ from repro.virt.vm import Vm, VUpmemDevice
 
 
 class VirtRankChannel(RankChannel):
-    """One linked vUPMEM device as an SDK rank channel."""
+    """One linked vUPMEM device as an SDK rank channel (requirement R3:
+    the application-facing API is identical to native)."""
 
     def __init__(self, vm: Vm, device: VUpmemDevice) -> None:
         self._vm = vm
@@ -67,10 +68,12 @@ class VirtRankChannel(RankChannel):
 
 
 class VirtTransport(Transport):
-    """SDK transport bound to one VM."""
+    """SDK transport bound to one VM (§4.2's parallel operation handling
+    decides how its multi-rank durations combine)."""
 
     def __init__(self, vm: Vm) -> None:
-        super().__init__(vm.machine.clock, vm.machine.cost, vm.profiler)
+        super().__init__(vm.machine.clock, vm.machine.cost, vm.profiler,
+                         metrics=vm.machine.metrics)
         self.vm = vm
 
     @property

@@ -36,7 +36,8 @@ from repro.virt.guest_memory import GuestMemory
 
 @dataclass(frozen=True)
 class Descriptor:
-    """One buffer reference in a descriptor chain."""
+    """One buffer reference in a descriptor chain (Appendix A.1: up to 131
+    chained buffers per request)."""
 
     gpa: int
     length: int
@@ -45,7 +46,8 @@ class Descriptor:
 
 @dataclass
 class UsedElement:
-    """Completion record the device posts to the used ring."""
+    """Completion record the device posts to the used ring (Appendix A.1;
+    its arrival triggers the completion IRQ of §3.4)."""
 
     request_id: int
     written: int = 0
@@ -53,7 +55,8 @@ class UsedElement:
 
 
 class Virtqueue:
-    """A split-ring virtqueue, simplified to what the device model needs."""
+    """A split-ring virtqueue, simplified to what the device model needs
+    (Appendix A.1: the 512-slot transferq and the controlq)."""
 
     def __init__(self, name: str, capacity: int) -> None:
         self.name = name
@@ -110,7 +113,8 @@ class Virtqueue:
 
 @dataclass
 class VirtioPimConfigSpace:
-    """The device configuration layout presented over MMIO."""
+    """The device configuration layout presented over MMIO (Appendix A.1:
+    frequency, clock division, MRAM size, DPU/CI population)."""
 
     device_id: int = VIRTIO_PIM_DEVICE_ID
     config: DeviceConfig = field(default_factory=DeviceConfig)
@@ -129,7 +133,8 @@ class VirtioPimConfigSpace:
 
 
 class VirtioPimQueues:
-    """The two queues of one vUPMEM device."""
+    """The two queues of one vUPMEM device (Appendix A.1: transferq for
+    rank operations, controlq for manager notifications)."""
 
     def __init__(self) -> None:
         self.transferq = Virtqueue("transferq", TRANSFERQ_SLOTS)

@@ -21,7 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class VUpmemDevice:
-    """One vUPMEM device: frontend + backend + queues + MMIO window."""
+    """One vUPMEM device: frontend + backend + queues + MMIO window (§3.2:
+    one such bundle per requested device, Fig. 3)."""
 
     device_id: str
     frontend: VUpmemFrontend
@@ -37,7 +38,7 @@ class VUpmemDevice:
 
 @dataclass
 class Vm:
-    """A booted microVM."""
+    """A booted microVM (§3.2: one Firecracker process per VM)."""
 
     vm_id: str
     config: "VmConfig"

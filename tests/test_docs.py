@@ -1,0 +1,100 @@
+"""Docs-check: the documentation stays consistent with the code.
+
+Two invariants:
+
+- every relative link in ``README.md`` and ``docs/*.md`` points at a file
+  or directory that exists in the repository;
+- the metric table in ``docs/observability.md`` and the catalog
+  (:mod:`repro.observability.catalog`) list exactly the same metric names,
+  so neither can drift without failing CI.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.observability.catalog import CATALOG
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LINK_RE = re.compile(r"\]\(([^)]+)\)")
+_METRIC_RE = re.compile(r"\brepro_[a-z0-9_]+\b")
+
+
+def _doc_files():
+    docs = [REPO_ROOT / "README.md"]
+    docs += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return docs
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in _LINK_RE.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not (doc.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def test_docs_directory_complete():
+    docs = REPO_ROOT / "docs"
+    assert (docs / "architecture.md").exists()
+    assert (docs / "observability.md").exists()
+
+
+class TestMetricTableMatchesCatalog:
+    """docs/observability.md's table is the catalog, rendered."""
+
+    @pytest.fixture(scope="class")
+    def documented(self) -> set:
+        text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        # Series suffixes appear in prose examples; fold them back onto
+        # their family name before comparing with the catalog.
+        names = set()
+        for name in _METRIC_RE.findall(text):
+            if name.endswith("_"):
+                continue  # a family-prefix mention such as ``repro_trace_*``
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in CATALOG:
+                    name = name[:-len(suffix)]
+                    break
+            names.add(name)
+        return names
+
+    def test_every_documented_metric_is_cataloged(self, documented):
+        unknown = documented - set(CATALOG)
+        assert not unknown, (
+            f"docs/observability.md mentions uncataloged metrics: "
+            f"{sorted(unknown)}")
+
+    def test_every_cataloged_metric_is_documented(self, documented):
+        missing = set(CATALOG) - documented
+        assert not missing, (
+            f"catalog metrics missing from docs/observability.md: "
+            f"{sorted(missing)}")
+
+    def test_documented_labels_match_catalog(self):
+        """Each table row lists exactly the spec's label names."""
+        text = (REPO_ROOT / "docs" / "observability.md").read_text()
+        rows = re.findall(r"^\| `(repro_[a-z0-9_]+)` \|[^|]+\| ([^|]*) \|",
+                          text, re.MULTILINE)
+        assert rows, "metric table not found in docs/observability.md"
+        for name, label_cell in rows:
+            spec = CATALOG[name]
+            documented_labels = tuple(re.findall(r"`([^`]+)`", label_cell))
+            assert documented_labels == spec.labels, (
+                f"{name}: docs list labels {documented_labels}, "
+                f"catalog declares {spec.labels}")
+
+
+def test_readme_mentions_metrics_cli():
+    text = (REPO_ROOT / "README.md").read_text()
+    assert "metrics" in text
+    assert "docs/observability.md" in text
+    assert "docs/architecture.md" in text
