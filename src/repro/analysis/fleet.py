@@ -1,0 +1,114 @@
+"""Fleet-scenario analysis: summaries and placement-policy sweeps.
+
+Turns raw :class:`~repro.cluster.loadgen.ScenarioResult` runs into the
+numbers the control plane is judged on — queue-wait percentiles,
+rejection rate, throughput, utilization — and sweeps the placement
+policies over seed batches so the benchmark compares distributions, not
+single draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.loadgen import ScenarioConfig, ScenarioResult, run_scenario
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = int(round(q / 100.0 * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """The control-plane scorecard of one (or several pooled) runs."""
+
+    policy: str
+    submitted: int
+    completed: int
+    rejected: int
+    rejection_rate: float
+    mean_wait_s: float
+    p50_wait_s: float
+    p99_wait_s: float
+    throughput_per_s: float        #: completed sessions per simulated second
+    mean_utilization: float
+    migrations: int
+    hosts_drained: int
+
+
+def summarize(result: ScenarioResult, cluster: Cluster) -> FleetSummary:
+    """Score one scenario run."""
+    return _pool(result.config.policy, [(result, cluster)])
+
+
+def _pool(policy: str,
+          runs: Sequence[Tuple[ScenarioResult, Cluster]]) -> FleetSummary:
+    waits: List[float] = []
+    submitted = completed = rejected = migrations = drained = 0
+    makespan = rank_seconds = capacity_seconds = 0.0
+    for result, cluster in runs:
+        waits.extend(result.waits)
+        submitted += result.submitted
+        completed += result.completions
+        rejected += result.rejected
+        migrations += result.migrations
+        drained += result.hosts_drained
+        makespan += result.makespan_s
+        rank_seconds += result.rank_seconds
+        capacity_seconds += result.makespan_s * cluster.total_ranks
+    return FleetSummary(
+        policy=policy,
+        submitted=submitted,
+        completed=completed,
+        rejected=rejected,
+        rejection_rate=rejected / submitted if submitted else 0.0,
+        mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+        p50_wait_s=percentile(waits, 50),
+        p99_wait_s=percentile(waits, 99),
+        throughput_per_s=completed / makespan if makespan else 0.0,
+        mean_utilization=(rank_seconds / capacity_seconds
+                          if capacity_seconds else 0.0),
+        migrations=migrations,
+        hosts_drained=drained,
+    )
+
+
+def sweep_policies(base: ScenarioConfig,
+                   policies: Sequence[str] = ("round_robin", "best_fit",
+                                              "least_loaded"),
+                   seeds: Sequence[int] = tuple(range(8)),
+                   ) -> Dict[str, FleetSummary]:
+    """Run every policy over the same seed batch; pooled summaries.
+
+    Each (policy, seed) pair replays the *identical* arrival schedule —
+    the seed fixes the workload, the policy only changes placement — so
+    differences in the summary are attributable to the policy alone.
+    """
+    out: Dict[str, FleetSummary] = {}
+    for policy in policies:
+        runs = [run_scenario(replace(base, policy=policy, seed=seed))
+                for seed in seeds]
+        out[policy] = _pool(policy, runs)
+    return out
+
+
+def summary_rows(summaries: Dict[str, FleetSummary]) -> List[Tuple]:
+    """Rows for :func:`repro.analysis.report.format_table`."""
+    return [
+        (s.policy, s.submitted, s.completed, f"{s.rejection_rate:.3f}",
+         f"{s.mean_wait_s:.3f}", f"{s.p99_wait_s:.3f}",
+         f"{s.throughput_per_s:.3f}", f"{s.mean_utilization:.3f}",
+         s.migrations, s.hosts_drained)
+        for s in summaries.values()
+    ]
+
+
+SUMMARY_HEADERS = ["policy", "subm", "done", "rej rate", "mean wait s",
+                   "p99 wait s", "thru/s", "util", "migr", "drained"]

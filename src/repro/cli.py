@@ -7,6 +7,7 @@ Usage::
     python -m repro compare NW --dpus 16          # native vs vPIM
     python -m repro figure fig9                   # regenerate a figure
     python -m repro metrics VA --dpus 60          # Prometheus snapshot
+    python -m repro cluster --policy best_fit     # fleet scenario replay
     python -m repro spec                          # the virtio-pim spec
 """
 
@@ -153,6 +154,54 @@ def cmd_metrics(args) -> int:
     return 0 if report.verified else 1
 
 
+def cmd_cluster(args) -> int:
+    """Replay a fleet scenario: admission, placement, consolidation."""
+    from repro.analysis.fleet import SUMMARY_HEADERS, summarize, summary_rows
+    from repro.cluster import PLACEMENT_POLICIES, ClusterConfig, ScenarioConfig
+    from repro.cluster.loadgen import run_scenario
+    from repro.observability import render_json, render_prometheus
+
+    if args.list_policies:
+        for name in sorted(PLACEMENT_POLICIES):
+            doc = (PLACEMENT_POLICIES[name].__doc__ or "").split("\n")[0]
+            print(f"{name:<14} {doc}")
+        return 0
+
+    config = ScenarioConfig(
+        cluster=ClusterConfig(nr_hosts=args.hosts,
+                              ranks_per_host=args.ranks_per_host,
+                              dpus_per_rank=args.dpus_per_rank),
+        policy=args.policy,
+        nr_tenants=args.tenants,
+        nr_requests=args.requests,
+        arrival_rate=args.arrival_rate,
+        mean_hold_s=args.hold,
+        queue_limit=args.queue_limit,
+        tenant_quota_ranks=args.quota,
+        run_apps=not args.no_apps,
+        consolidate_every_s=args.consolidate_every,
+        seed=args.seed,
+    )
+    result, cluster = run_scenario(config)
+    summary = summarize(result, cluster)
+    print(format_table(SUMMARY_HEADERS, summary_rows({args.policy: summary}),
+                       title=f"Fleet scenario ({args.hosts} hosts, "
+                             f"{args.tenants} tenants, seed={args.seed})"))
+    if result.rejections:
+        print("rejections: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(result.rejections.items())))
+    verified = [r.verified for r in result.records if r.verified is not None]
+    if verified:
+        print(f"app runs verified: {sum(verified)}/{len(verified)}")
+    if args.metrics_output:
+        text = (render_json(cluster.metrics) if args.format == "json"
+                else render_prometheus(cluster.metrics))
+        with open(args.metrics_output, "w") as handle:
+            handle.write(text)
+        print(f"cluster metrics snapshot written to {args.metrics_output}")
+    return 0 if all(verified) else 1
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -216,6 +265,37 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--trace", default=None, metavar="FILE",
                      help="also save the Chrome trace of the run")
     met.set_defaults(fn=cmd_metrics)
+
+    clu = sub.add_parser(
+        "cluster",
+        help="replay a multi-host fleet scenario (placement + admission)")
+    clu.add_argument("--list-policies", action="store_true",
+                     help="list the placement policies and exit")
+    clu.add_argument("--policy", default="round_robin",
+                     choices=["round_robin", "best_fit", "least_loaded"])
+    clu.add_argument("--hosts", type=int, default=4)
+    clu.add_argument("--ranks-per-host", type=int, default=4)
+    clu.add_argument("--dpus-per-rank", type=int, default=8)
+    clu.add_argument("--tenants", type=int, default=8)
+    clu.add_argument("--requests", type=int, default=24)
+    clu.add_argument("--arrival-rate", type=float, default=2.0,
+                     help="Poisson arrival rate (requests per simulated s)")
+    clu.add_argument("--hold", type=float, default=2.0,
+                     help="mean tenant residency after the app run (s)")
+    clu.add_argument("--queue-limit", type=int, default=16)
+    clu.add_argument("--quota", type=int, default=None, metavar="RANKS",
+                     help="per-tenant committed-rank quota")
+    clu.add_argument("--consolidate-every", type=float, default=1.0,
+                     metavar="S", help="consolidation period (0 disables)")
+    clu.add_argument("--no-apps", action="store_true",
+                     help="skip PrIM app runs (pure control-plane replay)")
+    clu.add_argument("--seed", type=int, default=0,
+                     help="workload seed; same seed replays the same "
+                          "scenario and metrics snapshot")
+    clu.add_argument("--format", choices=["prom", "json"], default="prom")
+    clu.add_argument("--metrics-output", default=None, metavar="FILE",
+                     help="write the cluster metrics snapshot here")
+    clu.set_defaults(fn=cmd_cluster)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

@@ -1,0 +1,59 @@
+"""Multi-host control plane: placement, admission control, consolidation.
+
+The fleet layer above the single-machine vPIM stack: a
+:class:`~repro.cluster.cluster.Cluster` of simulated hosts sharing one
+clock, a :class:`~repro.cluster.scheduler.Scheduler` admitting and
+placing tenant VM requests under pluggable policies, a
+:class:`~repro.cluster.consolidator.Consolidator` defragmenting the
+fleet through the checkpoint/restore migration path, and a
+:class:`~repro.cluster.loadgen.LoadGenerator` replaying reproducible
+Poisson workloads against the whole thing.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.consolidator import Consolidator
+from repro.cluster.host import ClusterHost, host_machine_config
+from repro.cluster.loadgen import (
+    LoadGenerator,
+    ScenarioConfig,
+    ScenarioResult,
+    SessionRecord,
+    run_scenario,
+)
+from repro.cluster.policies import (
+    PLACEMENT_POLICIES,
+    BestFitPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_policy,
+)
+from repro.cluster.scheduler import (
+    DEADLINE_CLASSES,
+    Placement,
+    Scheduler,
+    TenantRequest,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClusterHost",
+    "Consolidator",
+    "DEADLINE_CLASSES",
+    "LoadGenerator",
+    "PLACEMENT_POLICIES",
+    "BestFitPlacement",
+    "LeastLoadedPlacement",
+    "Placement",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "Scheduler",
+    "SessionRecord",
+    "TenantRequest",
+    "host_machine_config",
+    "make_policy",
+    "run_scenario",
+]

@@ -1,0 +1,101 @@
+"""The fleet: N vPIM hosts sharing one simulated timeline.
+
+The paper virtualizes PIM on *one* machine; its §7 future work ("dynamic
+workload consolidation" via checkpoint/restore) and the ROADMAP's
+production-scale north star both need the next layer up: a control plane
+that owns a fleet of hosts.  A :class:`Cluster` is that root object — it
+holds the shared :class:`~repro.hardware.clock.SimClock`, a fleet-wide
+metrics registry (separate from each host's machine registry, because
+scheduling decisions span hosts), and the per-host stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.host import ClusterHost, host_machine_config
+from repro.errors import ClusterError
+from repro.hardware.clock import SimClock
+from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+from repro.observability.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Geometry of a simulated fleet (uniform hosts)."""
+
+    nr_hosts: int = 4
+    ranks_per_host: int = 4
+    dpus_per_rank: int = 8
+    host_cores: int = 16
+    manager_policy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.nr_hosts <= 0:
+            raise ClusterError(
+                f"nr_hosts must be positive, got {self.nr_hosts}")
+        if self.ranks_per_host <= 0:
+            raise ClusterError(
+                f"ranks_per_host must be positive, got {self.ranks_per_host}")
+
+
+class Cluster:
+    """A fleet of PIM hosts with one clock and one control-plane registry."""
+
+    def __init__(self, config: ClusterConfig = ClusterConfig(),
+                 cost: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.config = config
+        self.clock = SimClock()
+        #: Fleet-wide control-plane telemetry (``repro_cluster_*``); per-host
+        #: data-plane series stay in each host's machine registry.
+        self.metrics = MetricsRegistry()
+        self.hosts: List[ClusterHost] = [
+            ClusterHost(
+                host_id=f"host{i}",
+                config=host_machine_config(config.ranks_per_host,
+                                           config.dpus_per_rank,
+                                           config.host_cores),
+                clock=self.clock,
+                cost=cost,
+                manager_policy=config.manager_policy,
+            )
+            for i in range(config.nr_hosts)
+        ]
+        self._by_id: Dict[str, ClusterHost] = {
+            host.host_id: host for host in self.hosts
+        }
+
+    # -- fleet views ---------------------------------------------------------
+
+    def host(self, host_id: str) -> ClusterHost:
+        try:
+            return self._by_id[host_id]
+        except KeyError:
+            raise ClusterError(
+                f"unknown host {host_id!r}; fleet has {sorted(self._by_id)}"
+            ) from None
+
+    @property
+    def nr_hosts(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def total_ranks(self) -> int:
+        return sum(host.total_ranks for host in self.hosts)
+
+    def allocated_ranks(self) -> int:
+        return sum(host.allocated_ranks() for host in self.hosts)
+
+    def utilization(self) -> float:
+        """Allocated share of the fleet's ranks, in [0, 1]."""
+        total = self.total_ranks
+        return self.allocated_ranks() / total if total else 0.0
+
+    def largest_host_ranks(self) -> int:
+        """Rank capacity of the largest host (admission upper bound)."""
+        return max(host.total_ranks for host in self.hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cluster({self.nr_hosts} hosts, "
+                f"{self.allocated_ranks()}/{self.total_ranks} ranks allocated)")

@@ -1,0 +1,89 @@
+"""One PIM host of a simulated fleet.
+
+A :class:`ClusterHost` is a full single-machine vPIM stack — machine,
+driver, manager, Firecracker launcher (the paper's Fig. 3 deployment) —
+built on a *shared* cluster clock so that N hosts advance one fleet-wide
+timeline.  The control plane (``repro.cluster.scheduler``) reads rank
+occupancy through the host's manager; it never touches ranks directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import MachineConfig, RankConfig
+from repro.core.api import VPim
+from repro.hardware.clock import SimClock
+from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+from repro.virt.manager import RankState
+
+
+def host_machine_config(ranks_per_host: int, dpus_per_rank: int,
+                        host_cores: int = 16) -> MachineConfig:
+    """Uniform machine geometry for fleet hosts."""
+    ranks = [RankConfig(i, dpus_per_rank) for i in range(ranks_per_host)]
+    return MachineConfig(host_cores=host_cores,
+                         host_dram_bytes=16 << 30, ranks=ranks)
+
+
+class ClusterHost:
+    """A single machine of the fleet, addressable by ``host_id``."""
+
+    def __init__(self, host_id: str, config: MachineConfig,
+                 clock: SimClock,
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 manager_policy: str = "round_robin") -> None:
+        self.host_id = host_id
+        self.vpim = VPim(config, cost=cost, clock=clock,
+                         manager_policy=manager_policy)
+
+    # -- stack accessors -----------------------------------------------------
+
+    @property
+    def machine(self):
+        return self.vpim.machine
+
+    @property
+    def driver(self):
+        return self.vpim.driver
+
+    @property
+    def manager(self):
+        return self.vpim.manager
+
+    @property
+    def firecracker(self):
+        return self.vpim.firecracker
+
+    @property
+    def metrics(self):
+        return self.vpim.machine.metrics
+
+    # -- occupancy views (what placement policies consult) -------------------
+
+    @property
+    def total_ranks(self) -> int:
+        return self.machine.nr_ranks
+
+    def allocated_ranks(self) -> int:
+        """Ranks currently held by a tenant (ALLO)."""
+        return sum(1 for state in self.manager.states().values()
+                   if state is RankState.ALLO)
+
+    def free_ranks(self) -> int:
+        """Ranks a new tenant could obtain: NAAV now, or NANA after the
+        pending isolation reset (the manager waits that reset out)."""
+        return self.total_ranks - self.allocated_ranks()
+
+    def utilization(self) -> float:
+        """Allocated share of this host's ranks, in [0, 1]."""
+        if self.total_ranks == 0:
+            return 0.0
+        return self.allocated_ranks() / self.total_ranks
+
+    def fits(self, nr_ranks: int) -> bool:
+        return self.free_ranks() >= nr_ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClusterHost({self.host_id}, "
+                f"{self.allocated_ranks()}/{self.total_ranks} ranks)")

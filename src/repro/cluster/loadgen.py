@@ -1,0 +1,285 @@
+"""Closed-loop fleet load generation: Poisson arrivals of PrIM sessions.
+
+A scenario replays ``nr_requests`` tenant sessions against a
+:class:`~repro.cluster.cluster.Cluster`: exponential inter-arrival times
+(Poisson process), a mix of rank demands, per-request PrIM applications
+and exponential residency holds — all drawn from one seeded
+``numpy`` generator (the ``workloads.generators`` convention), so the
+same seed replays the identical event sequence and metrics snapshot.
+
+The event loop is a discrete-event simulation over the shared cluster
+clock: arrivals enter admission control, placements boot microVMs and
+run their application, departures free ranks, and (optionally) the
+consolidation loop defragments the fleet between events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.consolidator import Consolidator
+from repro.cluster.scheduler import Placement, Scheduler, TenantRequest
+from repro.core.session import ExecutionSession
+from repro.errors import ClusterError
+from repro.virt.transport import VirtTransport
+
+#: Small, verification-cheap PrIM apps the generator draws from.
+DEFAULT_APPS: Tuple[str, ...] = ("VA", "RED", "SEL", "BS")
+
+#: Deliberately small datasets: fleet scenarios run many sessions, and
+#: the quantity under study is control-plane behaviour, not app scale.
+APP_PARAMS: Dict[str, dict] = {
+    "VA": dict(n_elements=1 << 13),
+    "RED": dict(n_elements=1 << 13),
+    "SEL": dict(n_elements=1 << 12),
+    "BS": dict(n_elements=1 << 12, n_queries=1 << 8),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One reproducible fleet scenario."""
+
+    cluster: ClusterConfig = ClusterConfig()
+    policy: str = "round_robin"
+    nr_tenants: int = 8
+    nr_requests: int = 24
+    arrival_rate: float = 2.0          #: requests per simulated second
+    mean_hold_s: float = 2.0           #: residency after the app run
+    interactive_fraction: float = 0.25
+    #: Rank demands sampled per request; ``None`` means a bimodal mix of
+    #: single-rank tenants and whole-host tenants (the fragmentation-
+    #: sensitive workload placement policies differ on).
+    rank_choices: Optional[Tuple[int, ...]] = None
+    apps: Tuple[str, ...] = DEFAULT_APPS
+    run_apps: bool = True
+    queue_limit: int = 16
+    tenant_quota_ranks: Optional[int] = None
+    consolidate_every_s: float = 0.0   #: 0 disables the consolidator
+    seed: int = 0
+
+    def effective_rank_choices(self) -> Tuple[int, ...]:
+        if self.rank_choices is not None:
+            return self.rank_choices
+        full = self.cluster.ranks_per_host
+        return (1, 1, 1, full)
+
+    def validate(self) -> None:
+        if self.nr_tenants <= 0:
+            raise ClusterError(
+                f"nr_tenants must be positive, got {self.nr_tenants}")
+        if self.nr_requests <= 0:
+            raise ClusterError(
+                f"nr_requests must be positive, got {self.nr_requests}")
+        if self.arrival_rate <= 0:
+            raise ClusterError(
+                f"arrival_rate must be positive, got {self.arrival_rate}")
+        if not 0 <= self.interactive_fraction <= 1:
+            raise ClusterError("interactive_fraction must be in [0, 1]")
+        if self.run_apps:
+            unknown = set(self.apps) - set(APP_PARAMS)
+            if unknown:
+                raise ClusterError(
+                    f"no scenario parameters for apps {sorted(unknown)}; "
+                    f"known: {sorted(APP_PARAMS)}")
+
+
+@dataclass
+class SessionRecord:
+    """Outcome of one generated request."""
+
+    request_id: int
+    tenant: str
+    nr_ranks: int
+    deadline_class: str
+    outcome: str                       #: admission outcome, or "completed"
+    wait_s: Optional[float] = None
+    host: Optional[str] = None
+    app: Optional[str] = None
+    verified: Optional[bool] = None
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced (inputs for ``analysis.fleet``)."""
+
+    config: ScenarioConfig
+    records: List[SessionRecord] = field(default_factory=list)
+    waits: List[float] = field(default_factory=list)
+    rejections: Dict[str, int] = field(default_factory=dict)
+    placements: int = 0
+    completions: int = 0
+    migrations: int = 0
+    hosts_drained: int = 0
+    makespan_s: float = 0.0
+    #: Time integral of allocated ranks (piecewise-constant between
+    #: events), for the mean-utilization figure.
+    rank_seconds: float = 0.0
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejections.values())
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    def mean_utilization(self, total_ranks: int) -> float:
+        if self.makespan_s <= 0 or total_ranks <= 0:
+            return 0.0
+        return self.rank_seconds / (self.makespan_s * total_ranks)
+
+
+class LoadGenerator:
+    """Drives one scenario against a freshly built cluster."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        config.validate()
+        self.config = config
+        self.cluster = Cluster(config.cluster)
+        self.scheduler = Scheduler(
+            self.cluster, policy=config.policy,
+            queue_limit=config.queue_limit,
+            tenant_quota_ranks=config.tenant_quota_ranks)
+        self.consolidator = Consolidator(self.cluster, self.scheduler)
+        self._records: Dict[int, SessionRecord] = {}
+
+    # -- schedule construction ----------------------------------------------
+
+    def build_requests(self) -> List[Tuple[float, TenantRequest]]:
+        """The arrival schedule: ``(arrival_time, request)`` pairs."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        gaps = rng.exponential(1.0 / cfg.arrival_rate,
+                               size=cfg.nr_requests)
+        times = np.cumsum(gaps)
+        choices = cfg.effective_rank_choices()
+        out: List[Tuple[float, TenantRequest]] = []
+        for i in range(cfg.nr_requests):
+            request = TenantRequest(
+                tenant=f"t{int(rng.integers(0, cfg.nr_tenants))}",
+                nr_ranks=int(choices[int(rng.integers(0, len(choices)))]),
+                app=(cfg.apps[int(rng.integers(0, len(cfg.apps)))]
+                     if cfg.run_apps else None),
+                deadline_class=("interactive"
+                                if rng.random() < cfg.interactive_fraction
+                                else "batch"),
+                hold_s=float(rng.exponential(cfg.mean_hold_s)),
+                seed=int(rng.integers(0, 1 << 30)),
+            )
+            out.append((float(times[i]), request))
+        return out
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        clock = self.cluster.clock
+        result = ScenarioResult(config=self.config)
+        events: List[Tuple[float, int, str, object]] = []
+        seq = itertools.count()
+        for when, request in self.build_requests():
+            heapq.heappush(events, (when, next(seq), "arrival", request))
+        last_consolidation = 0.0
+        last_t, last_allocated = clock.now, self.cluster.allocated_ranks()
+
+        while events:
+            when, _, kind, payload = heapq.heappop(events)
+            clock.advance_to(when)
+            result.rank_seconds += last_allocated * (clock.now - last_t)
+            last_t = clock.now
+
+            if kind == "arrival":
+                self._handle_arrival(payload, result)
+            else:
+                self._handle_departure(payload, result)
+
+            if (self.config.consolidate_every_s > 0
+                    and clock.now - last_consolidation
+                    >= self.config.consolidate_every_s):
+                self.consolidator.run_once()
+                last_consolidation = clock.now
+
+            # Anything newly placeable (capacity freed, queue populated).
+            while True:
+                placement = self.scheduler.try_place_next()
+                if placement is None:
+                    break
+                self._service(placement, result, events, seq)
+
+            last_allocated = self.cluster.allocated_ranks()
+            for host in self.cluster.hosts:
+                self.scheduler.refresh_host_gauges(host)
+
+        result.makespan_s = clock.now
+        result.migrations = self.consolidator.migrations
+        result.hosts_drained = self.consolidator.hosts_drained
+        result.records = [self._records[rid] for rid in sorted(self._records)]
+        return result
+
+    # -- event handlers ------------------------------------------------------
+
+    def _handle_arrival(self, request: TenantRequest,
+                        result: ScenarioResult) -> None:
+        outcome = self.scheduler.submit(request)
+        self._records[request.request_id] = SessionRecord(
+            request_id=request.request_id, tenant=request.tenant,
+            nr_ranks=request.nr_ranks,
+            deadline_class=request.deadline_class,
+            outcome=outcome, app=request.app)
+        if outcome != "queued":
+            result.rejections[outcome] = result.rejections.get(outcome, 0) + 1
+
+    def _handle_departure(self, placement: Placement,
+                          result: ScenarioResult) -> None:
+        self.scheduler.release(placement)
+        record = self._records[placement.request.request_id]
+        record.outcome = "completed"
+        record.host = placement.host.host_id
+        result.completions += 1
+
+    def _service(self, placement: Placement, result: ScenarioResult,
+                 events: list, seq) -> None:
+        """Resource a fresh placement: run its app, hold, book departure."""
+        request = placement.request
+        record = self._records[request.request_id]
+        record.wait_s = placement.placed_at - request.arrival_time
+        result.waits.append(record.wait_s)
+        result.placements += 1
+        if request.app is not None:
+            record.verified = self._run_app(placement)
+        # Residency: the tenant keeps its devices linked until departure.
+        placement.acquire()
+        departs_at = self.cluster.clock.now + request.hold_s
+        heapq.heappush(events, (departs_at, next(seq), "departure",
+                                placement))
+
+    def _run_app(self, placement: Placement) -> bool:
+        from repro.apps.registry import app_by_short_name
+
+        request = placement.request
+        nr_dpus = (request.nr_ranks
+                   * self.config.cluster.dpus_per_rank)
+        params = dict(APP_PARAMS[request.app], seed=request.seed)
+        app = app_by_short_name(request.app).cls(nr_dpus=nr_dpus, **params)
+        session = ExecutionSession(
+            VirtTransport(placement.vm),
+            mode=f"fleet/{self.scheduler.policy.name}", vm=placement.vm)
+        report = session.run(app)
+        return report.verified
+
+
+def run_scenario(config: ScenarioConfig) -> Tuple[ScenarioResult, Cluster]:
+    """Build a cluster, replay ``config``, return result and cluster."""
+    generator = LoadGenerator(config)
+    result = generator.run()
+    return result, generator.cluster

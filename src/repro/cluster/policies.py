@@ -1,0 +1,103 @@
+"""Pluggable VM placement policies for the fleet scheduler.
+
+Each policy answers one question: *which host should serve a request for
+``nr_ranks`` ranks right now?* — the fleet-level analogue of the
+single-host manager's NAAV policies (§3.5).  Ghose et al.'s PIM survey
+names exactly this resource-scheduling layer as an open systems gap; the
+three classical answers implemented here bracket the design space:
+
+- ``round_robin`` — rotate over hosts, paper-prototype style; fair but
+  fragments the fleet (1-rank tenants sprinkle every host, so no host
+  retains room for a rank-hungry tenant);
+- ``best_fit`` — tightest host that still fits (bin packing); keeps
+  whole hosts empty for large requests and feeds the consolidator;
+- ``least_loaded`` — emptiest host first (worst fit); balances load and
+  minimizes per-host bus contention at the price of packing density.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Type
+
+from repro.errors import ClusterError
+from repro.cluster.host import ClusterHost
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a host for a tenant request; stateless except cursors."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def choose(self, hosts: Sequence[ClusterHost],
+               nr_ranks: int) -> Optional[ClusterHost]:
+        """The host to place ``nr_ranks`` on, or ``None`` if none fits."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Rotate over hosts regardless of fit quality (the fleet analogue of
+    the paper prototype's round-robin rank allocation)."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, hosts: Sequence[ClusterHost],
+               nr_ranks: int) -> Optional[ClusterHost]:
+        n = len(hosts)
+        for step in range(n):
+            host = hosts[(self._cursor + step) % n]
+            if host.fits(nr_ranks):
+                self._cursor = (self._cursor + step + 1) % n
+                return host
+        return None
+
+
+class BestFitPlacement(PlacementPolicy):
+    """Tightest host that still fits: classic bin packing, leaves the
+    most whole-host headroom for rank-hungry tenants."""
+
+    name = "best_fit"
+
+    def choose(self, hosts: Sequence[ClusterHost],
+               nr_ranks: int) -> Optional[ClusterHost]:
+        fitting = [h for h in hosts if h.fits(nr_ranks)]
+        if not fitting:
+            return None
+        # min() keeps the first minimal host: ties break on host order.
+        return min(fitting, key=lambda h: h.free_ranks())
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Emptiest host first (worst fit): spreads tenants to balance load
+    and host-bus contention."""
+
+    name = "least_loaded"
+
+    def choose(self, hosts: Sequence[ClusterHost],
+               nr_ranks: int) -> Optional[ClusterHost]:
+        fitting = [h for h in hosts if h.fits(nr_ranks)]
+        if not fitting:
+            return None
+        # max() keeps the first maximal host: ties break on host order.
+        return max(fitting, key=lambda h: h.free_ranks())
+
+
+#: Selectable fleet placement policies, by name.
+PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    cls.name: cls
+    for cls in (RoundRobinPlacement, BestFitPlacement, LeastLoadedPlacement)
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a placement policy by name."""
+    try:
+        return PLACEMENT_POLICIES[name]()
+    except KeyError:
+        raise ClusterError(
+            f"unknown placement policy {name!r}; "
+            f"choose from {sorted(PLACEMENT_POLICIES)}"
+        ) from None

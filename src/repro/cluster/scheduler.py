@@ -1,0 +1,213 @@
+"""Fleet admission control and VM placement.
+
+The control-plane front door: tenants submit :class:`TenantRequest`\\ s
+(rank count, optional PrIM app, deadline class) and the
+:class:`Scheduler` either queues them — bounded queue, explicit
+backpressure — or rejects them outright (queue full, per-tenant quota
+exceeded, request larger than any host).  Queued requests are placed
+FIFO within their deadline class under a pluggable policy
+(:mod:`repro.cluster.policies`); placement boots a Firecracker microVM
+with one vUPMEM device per requested rank on the chosen host, exactly
+the §3.3 "vUPMEM booking" path, now multiplied across hosts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.host import ClusterHost
+from repro.cluster.policies import PlacementPolicy, make_policy
+from repro.observability.instruments import ClusterInstruments
+from repro.virt.firecracker import VmConfig
+from repro.virt.vm import Vm
+
+#: Deadline classes, in dispatch-priority order.
+DEADLINE_CLASSES = ("interactive", "batch")
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class TenantRequest:
+    """One tenant's ask: a VM with ``nr_ranks`` vUPMEM devices.
+
+    ``app`` optionally names a PrIM application (Table 1 short name) the
+    tenant will run once placed; ``hold_s`` is the residency after the
+    run — how long the tenant keeps its devices allocated before
+    departing (the underutilization driver of the paper's R2
+    motivation).
+    """
+
+    tenant: str
+    nr_ranks: int = 1
+    app: Optional[str] = None
+    deadline_class: str = "batch"
+    hold_s: float = 1.0
+    seed: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    arrival_time: float = 0.0
+
+
+@dataclass
+class Placement:
+    """A placed request: the tenant's microVM living on one host."""
+
+    request: TenantRequest
+    host: ClusterHost
+    vm: Vm
+    placed_at: float = 0.0
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    @property
+    def nr_ranks(self) -> int:
+        return self.request.nr_ranks
+
+    def acquire(self) -> None:
+        """Link every free device to a rank (tenant residency)."""
+        for device in self.vm.free_devices():
+            self.vm.acquire_rank(device)
+
+    def linked_devices(self):
+        return [device for device in self.vm.devices if device.linked]
+
+    def move_to(self, host: ClusterHost) -> None:
+        """Re-home the placement after a cross-host migration."""
+        self.host = host
+        self.vm.manager = host.manager
+
+
+class Scheduler:
+    """Admission control + placement over one :class:`Cluster`.
+
+    Dispatch contract: :meth:`try_place_next` books the VM on the chosen
+    host but leaves rank acquisition to the caller (running an app
+    acquires through the SDK path; pure residency calls
+    ``placement.acquire()``).  The caller must resource each returned
+    placement before asking for the next one, so policies see up-to-date
+    occupancy.
+    """
+
+    def __init__(self, cluster: Cluster,
+                 policy: Union[str, PlacementPolicy] = "round_robin",
+                 queue_limit: int = 16,
+                 tenant_quota_ranks: Optional[int] = None,
+                 vm_vcpus: int = 4,
+                 vm_mem_bytes: int = 1 << 30) -> None:
+        self.cluster = cluster
+        self.policy = (make_policy(policy) if isinstance(policy, str)
+                       else policy)
+        self.queue_limit = queue_limit
+        self.tenant_quota_ranks = tenant_quota_ranks
+        self.vm_vcpus = vm_vcpus
+        self.vm_mem_bytes = vm_mem_bytes
+        #: Pending requests, FIFO within deadline class, interactive first.
+        self.queue: List[TenantRequest] = []
+        self.active: List[Placement] = []
+        #: Ranks committed per tenant (queued + placed), for quotas.
+        self._tenant_ranks = {}
+        self.obs = ClusterInstruments(cluster.metrics, self.policy.name)
+        self._refresh_all_host_gauges()
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, request: TenantRequest) -> str:
+        """Admit ``request`` into the queue or reject it.
+
+        Returns the admission outcome: ``queued``,
+        ``rejected_queue_full``, ``rejected_quota`` or
+        ``rejected_oversize`` (also the metric label).
+        """
+        request.arrival_time = self.cluster.clock.now
+        outcome = self._admission_outcome(request)
+        self.obs.request(outcome)
+        if outcome == "queued":
+            self._tenant_ranks[request.tenant] = (
+                self._tenant_ranks.get(request.tenant, 0) + request.nr_ranks)
+            self._enqueue(request)
+            self.obs.queue_depth(len(self.queue))
+        return outcome
+
+    def _admission_outcome(self, request: TenantRequest) -> str:
+        if request.nr_ranks <= 0 \
+                or request.nr_ranks > self.cluster.largest_host_ranks():
+            return "rejected_oversize"
+        if len(self.queue) >= self.queue_limit:
+            return "rejected_queue_full"
+        quota = self.tenant_quota_ranks
+        if quota is not None:
+            committed = self._tenant_ranks.get(request.tenant, 0)
+            if committed + request.nr_ranks > quota:
+                return "rejected_quota"
+        return "queued"
+
+    def _enqueue(self, request: TenantRequest) -> None:
+        """FIFO within class; interactive requests dispatch before batch."""
+        if request.deadline_class == "interactive":
+            insert_at = len(self.queue)
+            for i, queued in enumerate(self.queue):
+                if queued.deadline_class != "interactive":
+                    insert_at = i
+                    break
+            self.queue.insert(insert_at, request)
+        else:
+            self.queue.append(request)
+
+    # -- placement ----------------------------------------------------------
+
+    def try_place_next(self) -> Optional[Placement]:
+        """Place the head-of-queue request if any host fits it.
+
+        Head-of-line blocking is deliberate: a rank-hungry request at
+        the head is not starved by smaller requests behind it, and the
+        resulting queue wait is exactly the fragmentation signal the
+        placement policies are compared on.
+        """
+        if not self.queue:
+            return None
+        request = self.queue[0]
+        host = self.policy.choose(self.cluster.hosts, request.nr_ranks)
+        if host is None:
+            return None
+        self.queue.pop(0)
+        vm = host.firecracker.launch_vm(VmConfig(
+            vcpus=self.vm_vcpus, mem_bytes=self.vm_mem_bytes,
+            nr_vupmem=request.nr_ranks))
+        placement = Placement(request=request, host=host, vm=vm,
+                              placed_at=self.cluster.clock.now)
+        self.active.append(placement)
+        wait = placement.placed_at - request.arrival_time
+        self.obs.placement(host.host_id, wait)
+        self.obs.queue_depth(len(self.queue))
+        return placement
+
+    def release(self, placement: Placement) -> None:
+        """Tenant departure: tear the VM down and return its ranks."""
+        placement.vm.shutdown()
+        self.active.remove(placement)
+        tenant = placement.tenant
+        remaining = self._tenant_ranks.get(tenant, 0) - placement.nr_ranks
+        if remaining > 0:
+            self._tenant_ranks[tenant] = remaining
+        else:
+            self._tenant_ranks.pop(tenant, None)
+        self.obs.session_completed(placement.host.host_id)
+        self.refresh_host_gauges(placement.host)
+
+    # -- views ---------------------------------------------------------------
+
+    def active_on(self, host: ClusterHost) -> List[Placement]:
+        return [p for p in self.active if p.host is host]
+
+    def refresh_host_gauges(self, host: ClusterHost) -> None:
+        self.obs.host_load(host.host_id, host.allocated_ranks(),
+                           len(self.active_on(host)))
+
+    def _refresh_all_host_gauges(self) -> None:
+        for host in self.cluster.hosts:
+            self.refresh_host_gauges(host)

@@ -30,15 +30,23 @@ class VPim:
     def __init__(self, machine_config: Optional[MachineConfig] = None,
                  cost: CostModel = DEFAULT_COST_MODEL,
                  oversubscription: bool = False,
-                 emulation_slowdown: float = 20.0) -> None:
+                 emulation_slowdown: float = 20.0,
+                 clock=None, manager_policy: str = "round_robin") -> None:
         """``oversubscription`` enables the Section 7 extension: when all
         physical ranks are allocated, the manager hands out software-
-        emulated ranks running ``emulation_slowdown``x slower."""
-        self.machine = Machine(machine_config, cost)
+        emulated ranks running ``emulation_slowdown``x slower.
+
+        ``clock`` may be a shared :class:`~repro.hardware.clock.SimClock`
+        so several hosts simulate one fleet-wide timeline
+        (``repro.cluster``); ``manager_policy`` selects the host
+        manager's NAAV-allocation policy.
+        """
+        self.machine = Machine(machine_config, cost, clock=clock)
         self.driver = UpmemDriver(self.machine)
         self.manager = Manager(self.machine, self.driver,
                                oversubscription=oversubscription,
-                               emulation_slowdown=emulation_slowdown)
+                               emulation_slowdown=emulation_slowdown,
+                               policy=manager_policy)
         self.firecracker = Firecracker(self.machine, self.driver, self.manager)
 
     @property

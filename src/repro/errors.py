@@ -105,6 +105,18 @@ class VmConfigError(VirtError):
 
 
 # --------------------------------------------------------------------------
+# Cluster control plane
+# --------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Fleet control-plane failure (bad scenario, unknown policy...)."""
+
+
+class AdmissionError(ClusterError):
+    """A tenant request was rejected by admission control."""
+
+
+# --------------------------------------------------------------------------
 # Observability layer
 # --------------------------------------------------------------------------
 

@@ -31,10 +31,13 @@ class Machine:
     """
 
     def __init__(self, config: Optional[MachineConfig] = None,
-                 cost: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost: CostModel = DEFAULT_COST_MODEL,
+                 clock: Optional[SimClock] = None) -> None:
         self.config = config or paper_testbed()
         self.cost = cost
-        self.clock = SimClock()
+        #: ``clock`` may be shared: a fleet of machines simulated together
+        #: (``repro.cluster``) advances one cluster-wide timeline.
+        self.clock = clock or SimClock()
         #: Machine-wide metric store; ranks, the manager, vUPMEM devices
         #: and sessions all register their instruments here.
         self.metrics = MetricsRegistry()

@@ -150,24 +150,33 @@ class BackendInstruments:
 
 
 class ManagerInstruments:
-    """Telemetry of the host-wide rank manager."""
+    """Telemetry of the host-wide rank manager.
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    Allocation outcomes and waits carry the active NAAV policy
+    (``round_robin``/``first_fit``/``coldest``) so single-host manager
+    decisions read comparably to the fleet scheduler's per-policy series.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 policy: str = "round_robin") -> None:
         self.registry = registry
         self._transitions = instrument(
             registry, "repro_manager_state_transitions_total")
         self._allocations = instrument(registry,
                                        "repro_manager_allocations_total")
-        self._wait = instrument(registry, "repro_manager_alloc_wait_seconds")
+        self._wait = instrument(
+            registry, "repro_manager_alloc_wait_seconds"
+        ).labels(policy=policy)
         self._resets = instrument(registry, "repro_manager_resets_total")
         self._ranks = instrument(registry, "repro_manager_ranks")
+        self._policy = policy
 
     def transition(self, from_state: str, to_state: str) -> None:
         self._transitions.labels(from_state=from_state,
                                  to_state=to_state).inc()
 
     def allocation(self, outcome: str, wait_seconds: float) -> None:
-        self._allocations.labels(outcome=outcome).inc()
+        self._allocations.labels(policy=self._policy, outcome=outcome).inc()
         self._wait.observe(wait_seconds)
 
     def reset_scheduled(self) -> None:
@@ -207,6 +216,68 @@ class SessionInstruments:
         self._runs.labels(app=app, mode=mode,
                           verified=str(bool(verified)).lower()).inc()
         self._seconds.labels(app=app, mode=mode).observe(duration)
+
+
+class ClusterInstruments:
+    """Telemetry of the fleet control plane (``repro.cluster``).
+
+    Lives in the *cluster* registry (not any single host's machine
+    registry): scheduling, admission and consolidation decisions span
+    hosts, so their series are labeled by host/tenant identity rather
+    than VM/device ids.
+    """
+
+    def __init__(self, registry: MetricsRegistry, policy: str) -> None:
+        self.registry = registry
+        self._requests = instrument(registry, "repro_cluster_requests_total")
+        self._queue_depth = instrument(registry, "repro_cluster_queue_depth")
+        self._queue_wait = instrument(
+            registry, "repro_cluster_queue_wait_seconds"
+        ).labels(policy=policy)
+        self._placements = instrument(registry,
+                                      "repro_cluster_placements_total")
+        self._completed = instrument(
+            registry, "repro_cluster_sessions_completed_total")
+        self._ranks_allocated = instrument(registry,
+                                           "repro_cluster_ranks_allocated")
+        self._active_vms = instrument(registry, "repro_cluster_active_vms")
+        self._migrations = instrument(registry,
+                                      "repro_cluster_migrations_total")
+        self._migrated_bytes = instrument(
+            registry, "repro_cluster_migrated_bytes_total")
+        self._consolidations = instrument(
+            registry, "repro_cluster_consolidation_runs_total")
+        self._drained = instrument(registry,
+                                   "repro_cluster_hosts_drained_total")
+        self._policy = policy
+
+    def request(self, outcome: str) -> None:
+        self._requests.labels(policy=self._policy, outcome=outcome).inc()
+
+    def queue_depth(self, depth: int) -> None:
+        self._queue_depth.set(depth)
+
+    def placement(self, host: str, wait_seconds: float) -> None:
+        self._placements.labels(policy=self._policy, host=host).inc()
+        self._queue_wait.observe(wait_seconds)
+
+    def session_completed(self, host: str) -> None:
+        self._completed.labels(host=host).inc()
+
+    def host_load(self, host: str, ranks_allocated: int,
+                  active_vms: int) -> None:
+        self._ranks_allocated.labels(host=host).set(ranks_allocated)
+        self._active_vms.labels(host=host).set(active_vms)
+
+    def migration(self, from_host: str, to_host: str, nr_bytes: int) -> None:
+        self._migrations.labels(from_host=from_host, to_host=to_host).inc()
+        self._migrated_bytes.inc(nr_bytes)
+
+    def consolidation_run(self) -> None:
+        self._consolidations.inc()
+
+    def host_drained(self) -> None:
+        self._drained.inc()
 
 
 class TraceInstruments:

@@ -101,8 +101,8 @@ class Manager:
         self.policy = policy
         self.stats = ManagerStats()
         #: Live telemetry (shares the machine registry): state transitions,
-        #: allocation outcomes and the rank-table population gauge.
-        self.obs = ManagerInstruments(machine.metrics)
+        #: allocation outcomes/waits per policy and the rank-table gauge.
+        self.obs = ManagerInstruments(machine.metrics, policy=policy)
         self._rr_cursor = 0
         self._freed_at: Dict[int, float] = {}
         #: Section 7 extension: hand out software-emulated ranks when the

@@ -1,0 +1,19 @@
+"""Shared fixtures: small fleets for fast control-plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Scheduler
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A 3-host fleet, 2 ranks x 4 DPUs per host."""
+    return Cluster(ClusterConfig(nr_hosts=3, ranks_per_host=2,
+                                 dpus_per_rank=4))
+
+
+@pytest.fixture
+def scheduler(cluster) -> Scheduler:
+    return Scheduler(cluster, policy="round_robin", queue_limit=4)

@@ -1,0 +1,54 @@
+"""Fleet construction: shared clock, host addressing, occupancy views."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.errors import ClusterError
+
+
+def test_hosts_share_one_clock(cluster):
+    clocks = {id(host.machine.clock) for host in cluster.hosts}
+    assert clocks == {id(cluster.clock)}
+    cluster.clock.advance(1.5)
+    assert all(host.machine.clock.now == 1.5 for host in cluster.hosts)
+
+
+def test_host_lookup(cluster):
+    assert cluster.host("host1") is cluster.hosts[1]
+    with pytest.raises(ClusterError, match="unknown host"):
+        cluster.host("host9")
+
+
+def test_fleet_geometry(cluster):
+    assert cluster.nr_hosts == 3
+    assert cluster.total_ranks == 6
+    assert cluster.largest_host_ranks() == 2
+    assert cluster.allocated_ranks() == 0
+    assert cluster.utilization() == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(ClusterError):
+        ClusterConfig(nr_hosts=0)
+    with pytest.raises(ClusterError):
+        ClusterConfig(ranks_per_host=0)
+
+
+def test_host_occupancy_tracks_manager(cluster):
+    from repro.virt.firecracker import VmConfig
+
+    host = cluster.hosts[0]
+    vm = host.firecracker.launch_vm(
+        VmConfig(vcpus=4, mem_bytes=1 << 30, nr_vupmem=1))
+    vm.acquire_rank(vm.devices[0])
+    assert host.allocated_ranks() == 1
+    assert host.free_ranks() == 1
+    assert host.utilization() == 0.5
+    assert host.fits(1) and not host.fits(2)
+    vm.shutdown()
+    assert host.allocated_ranks() == 0
+
+
+def test_cluster_metrics_registry_is_fleet_wide(cluster):
+    assert cluster.metrics is not cluster.hosts[0].metrics
+    assert cluster.hosts[0].metrics is not cluster.hosts[1].metrics

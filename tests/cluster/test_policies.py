@@ -1,0 +1,75 @@
+"""Placement policies: rotation, packing, spreading, tie-breaking."""
+
+import pytest
+
+from repro.cluster import (
+    PLACEMENT_POLICIES,
+    Placement,
+    Scheduler,
+    TenantRequest,
+    make_policy,
+)
+from repro.cluster.policies import (
+    BestFitPlacement,
+    LeastLoadedPlacement,
+    RoundRobinPlacement,
+)
+from repro.errors import ClusterError
+
+
+def _occupy(cluster, host_index, nr_ranks):
+    """Allocate ``nr_ranks`` on one host directly (test scaffolding)."""
+    from repro.virt.firecracker import VmConfig
+
+    host = cluster.hosts[host_index]
+    vm = host.firecracker.launch_vm(
+        VmConfig(vcpus=4, mem_bytes=1 << 30, nr_vupmem=nr_ranks))
+    for device in vm.free_devices():
+        vm.acquire_rank(device)
+    return vm
+
+
+def test_round_robin_rotates(cluster):
+    policy = RoundRobinPlacement()
+    picks = [policy.choose(cluster.hosts, 1).host_id for _ in range(4)]
+    assert picks == ["host0", "host1", "host2", "host0"]
+
+
+def test_round_robin_skips_full_hosts(cluster):
+    _occupy(cluster, 1, 2)           # host1 is full
+    policy = RoundRobinPlacement()
+    picks = [policy.choose(cluster.hosts, 1).host_id for _ in range(3)]
+    assert picks == ["host0", "host2", "host0"]
+
+
+def test_best_fit_packs_tightest(cluster):
+    _occupy(cluster, 1, 1)           # host1 now has 1 free rank
+    policy = BestFitPlacement()
+    assert policy.choose(cluster.hosts, 1).host_id == "host1"
+    # A 2-rank request cannot use the packed host.
+    assert policy.choose(cluster.hosts, 2).host_id == "host0"
+
+
+def test_least_loaded_spreads(cluster):
+    _occupy(cluster, 0, 1)
+    policy = LeastLoadedPlacement()
+    # host1 and host2 tie on 2 free ranks; first in host order wins.
+    assert policy.choose(cluster.hosts, 1).host_id == "host1"
+
+
+def test_policies_return_none_when_nothing_fits(cluster):
+    for name in PLACEMENT_POLICIES:
+        assert make_policy(name).choose(cluster.hosts, 99) is None
+
+
+def test_make_policy_rejects_unknown():
+    with pytest.raises(ClusterError, match="unknown placement policy"):
+        make_policy("first_fit")
+
+
+def test_scheduler_accepts_policy_instance(cluster):
+    scheduler = Scheduler(cluster, policy=BestFitPlacement())
+    assert scheduler.policy.name == "best_fit"
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "queued"
+    placement = scheduler.try_place_next()
+    assert isinstance(placement, Placement)

@@ -1,0 +1,111 @@
+"""Admission control and placement: queueing, quotas, backpressure."""
+
+import pytest
+
+from repro.cluster import Scheduler, TenantRequest
+
+
+def test_submit_place_release_roundtrip(cluster, scheduler):
+    assert scheduler.submit(TenantRequest(tenant="t0", nr_ranks=2)) == "queued"
+    placement = scheduler.try_place_next()
+    assert placement is not None
+    assert placement.vm.config.nr_vupmem == 2
+    placement.acquire()
+    assert placement.host.allocated_ranks() == 2
+    assert cluster.allocated_ranks() == 2
+
+    scheduler.release(placement)
+    assert cluster.allocated_ranks() == 0
+    assert scheduler.active == []
+
+
+def test_oversize_requests_bounce(scheduler):
+    assert (scheduler.submit(TenantRequest(tenant="t0", nr_ranks=3))
+            == "rejected_oversize")
+    assert (scheduler.submit(TenantRequest(tenant="t0", nr_ranks=0))
+            == "rejected_oversize")
+    assert scheduler.queue == []
+
+
+def test_bounded_queue_backpressure(scheduler):
+    for i in range(4):
+        assert (scheduler.submit(TenantRequest(tenant=f"t{i}"))
+                == "queued")
+    assert (scheduler.submit(TenantRequest(tenant="t9"))
+            == "rejected_queue_full")
+    assert len(scheduler.queue) == 4
+
+
+def test_tenant_quota_counts_queued_and_placed(cluster):
+    scheduler = Scheduler(cluster, queue_limit=8, tenant_quota_ranks=2)
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "queued"
+    placement = scheduler.try_place_next()
+    placement.acquire()
+    # 1 placed + 1 queued = quota; a third rank is over.
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "queued"
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "rejected_quota"
+    # Other tenants are unaffected.
+    assert scheduler.submit(TenantRequest(tenant="t1")) == "queued"
+    # Departure returns quota: one more rank fits, a second does not.
+    scheduler.release(placement)
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "queued"
+    assert scheduler.submit(TenantRequest(tenant="t0")) == "rejected_quota"
+
+
+def test_interactive_dispatches_before_batch(scheduler):
+    scheduler.submit(TenantRequest(tenant="b0", deadline_class="batch"))
+    scheduler.submit(TenantRequest(tenant="b1", deadline_class="batch"))
+    scheduler.submit(TenantRequest(tenant="i0",
+                                   deadline_class="interactive"))
+    scheduler.submit(TenantRequest(tenant="i1",
+                                   deadline_class="interactive"))
+    order = [scheduler.try_place_next().tenant for _ in range(4)]
+    assert order == ["i0", "i1", "b0", "b1"]
+
+
+def test_head_of_line_blocking(cluster, scheduler):
+    # Fill the fleet so a 2-rank request cannot go anywhere.
+    held = []
+    for _ in range(3):
+        scheduler.submit(TenantRequest(tenant="filler", nr_ranks=2))
+        placement = scheduler.try_place_next()
+        placement.acquire()
+        held.append(placement)
+    scheduler.submit(TenantRequest(tenant="big", nr_ranks=2))
+    scheduler.submit(TenantRequest(tenant="small", nr_ranks=1))
+    # The small request must NOT jump the blocked head of the queue.
+    assert scheduler.try_place_next() is None
+    assert [r.tenant for r in scheduler.queue] == ["big", "small"]
+    # Freeing capacity unblocks the head first.
+    scheduler.release(held[0])
+    assert scheduler.try_place_next().tenant == "big"
+
+
+def test_queue_wait_is_simulated_time(cluster, scheduler):
+    request = TenantRequest(tenant="t0")
+    scheduler.submit(request)
+    cluster.clock.advance(2.5)
+    placement = scheduler.try_place_next()
+    # The wait covers the queue delay plus the (simulated) VM boot.
+    wait = placement.placed_at - request.arrival_time
+    assert 2.5 <= wait < 3.0
+
+
+def test_admission_metrics_recorded(cluster, scheduler):
+    scheduler.submit(TenantRequest(tenant="t0"))
+    scheduler.submit(TenantRequest(tenant="t1", nr_ranks=9))
+    placement = scheduler.try_place_next()
+    metrics = cluster.metrics
+    assert metrics.value("repro_cluster_requests_total",
+                         policy="round_robin", outcome="queued") == 1
+    assert metrics.value("repro_cluster_requests_total",
+                         policy="round_robin",
+                         outcome="rejected_oversize") == 1
+    assert metrics.value("repro_cluster_placements_total",
+                         policy="round_robin",
+                         host=placement.host.host_id) == 1
+    scheduler.release(placement)
+    assert metrics.value("repro_cluster_sessions_completed_total",
+                         host=placement.host.host_id) == 1
+    assert metrics.value("repro_cluster_ranks_allocated",
+                         host=placement.host.host_id) == 0

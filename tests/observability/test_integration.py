@@ -75,13 +75,29 @@ class TestFullVpimRun:
         reg = vpim.machine.metrics
         # One rank covers all 8 requested DPUs, so exactly one allocation.
         assert reg.value("repro_manager_allocations_total",
-                         outcome="naav") == 1
+                         policy="round_robin", outcome="naav") == 1
         assert reg.value("repro_manager_state_transitions_total",
                          from_state="naav", to_state="allo") == 1
         # The device released its rank when the DpuSet closed.
         assert reg.value("repro_manager_state_transitions_total",
                          from_state="allo", to_state="nana") == 1
         assert reg.value("repro_manager_resets_total") == 1
+
+    @pytest.mark.parametrize("policy", ["round_robin", "first_fit",
+                                        "coldest"])
+    def test_manager_metrics_labeled_by_policy(self, policy):
+        from repro.sdk.dpu_set import DpuSet
+
+        vpim = VPim(small_machine(nr_ranks=2, dpus_per_rank=8),
+                    manager_policy=policy)
+        session = vpim.vm_session(nr_vupmem=1)
+        with DpuSet(session.transport, 8):
+            pass
+        reg = vpim.machine.metrics
+        assert reg.value("repro_manager_allocations_total",
+                         policy=policy, outcome="naav") == 1
+        assert reg.value("repro_manager_alloc_wait_seconds",
+                         policy=policy) == 1
 
     def test_session_and_vm_metrics(self):
         vpim, session = _run_checksum("vPIM")
