@@ -11,7 +11,7 @@ import pytest
 from repro.analysis.figures import machine_config
 from repro.analysis.report import PAPER_CLAIMS, format_table
 from repro.core import VPim
-from repro.virt.firecracker import BASE_BOOT_TIME, VmConfig
+from repro.virt.firecracker import VmConfig
 
 
 def bench_boot_and_manager_overheads(once):

@@ -5,7 +5,7 @@ modifications required" — this bench is that claim: every Table 1 row
 executes under full vPIM and matches its CPU reference.
 """
 
-from repro.analysis.figures import SIZE_PROFILES, run_app
+from repro.analysis.figures import run_app
 from repro.analysis.report import format_table
 from repro.apps.registry import PRIM_APPS
 

@@ -19,7 +19,8 @@ SCALE = 64  # nominal paper MB, scaled down for a quick run
 
 def pair(nr_dpus, file_mb, vcpus=16):
     cfg = machine_for_dpus(nr_dpus)
-    app = lambda: Checksum(nr_dpus=nr_dpus, file_mb=file_mb, scale=SCALE)
+    def app():
+        return Checksum(nr_dpus=nr_dpus, file_mb=file_mb, scale=SCALE)
     native = VPim(cfg).native_session().run(app())
     virt = VPim(cfg).vm_session(nr_vupmem=cfg.nr_ranks,
                                 vcpus=vcpus).run(app())

@@ -273,7 +273,8 @@ def fig11_c_enhancement(scale: int = 32) -> Dict[str, List[AblationPoint]]:
 
     def point(nr_dpus: int, mb: float) -> AblationPoint:
         cfg = machine_for_dpus(nr_dpus)
-        app = lambda: Checksum(nr_dpus=nr_dpus, file_mb=mb, scale=scale)
+        def app():
+            return Checksum(nr_dpus=nr_dpus, file_mb=mb, scale=scale)
         nat = VPim(cfg).native_session().run(app())
         p = AblationPoint(x=None, native_s=nat.segments_total)
         for preset in ("vPIM-rust", "vPIM-C"):

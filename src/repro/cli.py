@@ -202,6 +202,62 @@ def cmd_cluster(args) -> int:
     return 0 if all(verified) else 1
 
 
+def cmd_chaos(args) -> int:
+    """Run sessions (or a fleet) under a seeded fault plan."""
+    from repro.analysis.chaos import (
+        CHAOS_HEADERS,
+        CLUSTER_CHAOS_HEADERS,
+        ChaosConfig,
+        chaos_rows,
+        cluster_chaos_rows,
+        run_chaos,
+        run_cluster_chaos,
+    )
+    from repro.faults import FaultKind, FaultPlan
+
+    if args.fleet:
+        from repro.cluster import ClusterConfig, ScenarioConfig
+        scenario = ScenarioConfig(
+            cluster=ClusterConfig(nr_hosts=args.hosts,
+                                  ranks_per_host=args.ranks,
+                                  dpus_per_rank=args.dpus_per_rank),
+            nr_requests=args.sessions * 4, seed=args.seed)
+        plan = FaultPlan.generate(
+            seed=args.seed, horizon_s=args.horizon,
+            rate_per_s=args.rate, kinds=(FaultKind.HOST_CRASH,),
+            limits={FaultKind.HOST_CRASH: max(args.hosts - 1, 0)})
+        fleet = run_cluster_chaos(scenario, plan)
+        print(format_table(
+            CLUSTER_CHAOS_HEADERS, cluster_chaos_rows(fleet),
+            title=f"Fleet chaos ({args.hosts} hosts, seed={args.seed})"))
+        print(f"timeline digest: {fleet.timeline_digest}")
+        if fleet.timeline:
+            print(fleet.timeline)
+        snapshot, lost = fleet.metric_snapshot, fleet.sessions_lost
+    else:
+        config = ChaosConfig(
+            nr_ranks=args.ranks, dpus_per_rank=args.dpus_per_rank,
+            app=args.app, nr_sessions=args.sessions, seed=args.seed,
+            fault_rate_per_s=args.rate, horizon_s=args.horizon,
+            max_attempts=args.max_attempts)
+        result = run_chaos(config)
+        print(format_table(
+            CHAOS_HEADERS, chaos_rows(result),
+            title=f"Chaos run ({args.app} x{args.sessions}, "
+                  f"seed={args.seed})"))
+        print(f"timeline digest: {result.timeline_digest}")
+        if result.timeline:
+            print(result.timeline)
+        snapshot, lost = result.metric_snapshot, result.sessions_lost
+    if args.metrics_output:
+        import json
+        with open(args.metrics_output, "w") as handle:
+            json.dump(snapshot, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"fault metrics snapshot written to {args.metrics_output}")
+    return 0 if lost == 0 else 1
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -296,6 +352,32 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--metrics-output", default=None, metavar="FILE",
                      help="write the cluster metrics snapshot here")
     clu.set_defaults(fn=cmd_cluster)
+
+    cha = sub.add_parser(
+        "chaos",
+        help="run sessions under a seeded fault plan (repro.faults)")
+    cha.add_argument("--fleet", action="store_true",
+                     help="fleet mode: host crashes + tenant re-placement")
+    cha.add_argument("--app", choices=["VA", "RED", "SEL", "BS"],
+                     default="VA")
+    cha.add_argument("--sessions", type=int, default=4)
+    cha.add_argument("--ranks", type=int, default=3,
+                     help="ranks per machine (or per host with --fleet)")
+    cha.add_argument("--hosts", type=int, default=3,
+                     help="fleet size (only with --fleet)")
+    cha.add_argument("--dpus-per-rank", type=int, default=8)
+    cha.add_argument("--rate", type=float, default=1.0,
+                     help="expected fault events per simulated second")
+    cha.add_argument("--horizon", type=float, default=10.0,
+                     help="fault plan horizon (simulated seconds)")
+    cha.add_argument("--max-attempts", type=int, default=4,
+                     help="session rerun budget")
+    cha.add_argument("--seed", type=int, default=0,
+                     help="plan + workload seed; same seed replays the "
+                          "identical fault timeline")
+    cha.add_argument("--metrics-output", default=None, metavar="FILE",
+                     help="write the repro_fault_* snapshot here (JSON)")
+    cha.set_defaults(fn=cmd_chaos)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

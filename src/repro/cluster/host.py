@@ -9,7 +9,6 @@ occupancy through the host's manager; it never touches ranks directly.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.config import MachineConfig, RankConfig
 from repro.core.api import VPim
@@ -36,6 +35,8 @@ class ClusterHost:
         self.host_id = host_id
         self.vpim = VPim(config, cost=cost, clock=clock,
                          manager_policy=manager_policy)
+        #: False after :meth:`crash`; dead hosts never fit placements.
+        self.alive = True
 
     # -- stack accessors -----------------------------------------------------
 
@@ -82,7 +83,23 @@ class ClusterHost:
         return self.allocated_ranks() / self.total_ranks
 
     def fits(self, nr_ranks: int) -> bool:
-        return self.free_ranks() >= nr_ranks
+        return self.alive and self.free_ranks() >= nr_ranks
+
+    # -- failure model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill this host: every rank goes offline, the rank table goes
+        FAIL, and placement policies stop considering it.  Idempotent;
+        the control-plane reaction (evicting tenants) lives in
+        :meth:`repro.cluster.scheduler.Scheduler.evict_host`.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        from repro.hardware.rank import RankHealth
+        for rank in self.machine.ranks:
+            rank.health = RankHealth.OFFLINE
+            self.manager.mark_failed(rank.index)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ClusterHost({self.host_id}, "

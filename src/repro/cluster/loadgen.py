@@ -153,6 +153,11 @@ class LoadGenerator:
             tenant_quota_ranks=config.tenant_quota_ranks)
         self.consolidator = Consolidator(self.cluster, self.scheduler)
         self._records: Dict[int, SessionRecord] = {}
+        #: Optional per-event callback ``fn(generator)``, invoked after
+        #: the clock advances to each event.  This is the fleet-scope
+        #: fault-delivery point (``repro.faults`` host crashes have no
+        #: per-operation seam); ``None`` costs nothing.
+        self.on_event = None
 
     # -- schedule construction ----------------------------------------------
 
@@ -197,6 +202,8 @@ class LoadGenerator:
             clock.advance_to(when)
             result.rank_seconds += last_allocated * (clock.now - last_t)
             last_t = clock.now
+            if self.on_event is not None:
+                self.on_event(self)
 
             if kind == "arrival":
                 self._handle_arrival(payload, result)
@@ -241,6 +248,10 @@ class LoadGenerator:
 
     def _handle_departure(self, placement: Placement,
                           result: ScenarioResult) -> None:
+        if placement not in self.scheduler.active:
+            # Evicted by a host crash before departing; the request was
+            # requeued and will depart under its replacement placement.
+            return
         self.scheduler.release(placement)
         record = self._records[placement.request.request_id]
         record.outcome = "completed"

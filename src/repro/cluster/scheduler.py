@@ -19,6 +19,7 @@ from typing import List, Optional, Union
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.host import ClusterHost
+from repro.errors import AdmissionError, HostCrashedError
 from repro.cluster.policies import PlacementPolicy, make_policy
 from repro.observability.instruments import ClusterInstruments
 from repro.virt.firecracker import VmConfig
@@ -78,6 +79,10 @@ class Placement:
 
     def move_to(self, host: ClusterHost) -> None:
         """Re-home the placement after a cross-host migration."""
+        if not host.alive:
+            raise HostCrashedError(
+                f"cannot migrate tenant {self.tenant} to crashed host "
+                f"{host.host_id}; pick a live target")
         self.host = host
         self.vm.manager = host.manager
 
@@ -132,6 +137,16 @@ class Scheduler:
             self._enqueue(request)
             self.obs.queue_depth(len(self.queue))
         return outcome
+
+    def submit_or_raise(self, request: TenantRequest) -> None:
+        """Strict admission: :meth:`submit`, but rejections raise
+        :class:`~repro.errors.AdmissionError` instead of returning an
+        outcome string (for callers that treat rejection as fatal)."""
+        outcome = self.submit(request)
+        if outcome != "queued":
+            raise AdmissionError(
+                f"request {request.request_id} from tenant "
+                f"{request.tenant} rejected: {outcome}")
 
     def _admission_outcome(self, request: TenantRequest) -> str:
         if request.nr_ranks <= 0 \
@@ -198,6 +213,29 @@ class Scheduler:
             self._tenant_ranks.pop(tenant, None)
         self.obs.session_completed(placement.host.host_id)
         self.refresh_host_gauges(placement.host)
+
+    def evict_host(self, host: ClusterHost) -> int:
+        """React to a host crash: tear down its placements and requeue
+        their tenants at the head of the queue.
+
+        The tenants lost their VMs, not their right to run: their
+        requests re-enter ahead of everyone (admission was already paid,
+        so the queue limit is deliberately bypassed and quota
+        commitments stay), and the next dispatch loop re-places them on
+        surviving hosts.  Returns the number of evicted placements.
+        """
+        evicted = self.active_on(host)
+        for placement in evicted:
+            self.active.remove(placement)
+            # Unlinking a dead host's devices is sysfs-only bookkeeping;
+            # the manager ignores the "free" writes for FAIL ranks.
+            placement.vm.shutdown()
+            self.obs.request("requeued_crash")
+        for placement in reversed(evicted):
+            self.queue.insert(0, placement.request)
+        self.obs.queue_depth(len(self.queue))
+        self.refresh_host_gauges(host)
+        return len(evicted)
 
     # -- views ---------------------------------------------------------------
 

@@ -28,6 +28,11 @@ class DpuFaultError(HardwareError):
     """A DPU kernel faulted during execution (bad access, bad host var...)."""
 
 
+class RankOfflineError(HardwareError):
+    """An operation reached a rank whose health is OFFLINE (injected or
+    detected hardware failure); the rank must be repaired or replaced."""
+
+
 class ControlInterfaceError(HardwareError):
     """An invalid command was written to a rank's control interface."""
 
@@ -104,6 +109,33 @@ class VmConfigError(VirtError):
     """Invalid VM configuration passed to the Firecracker API server."""
 
 
+class TransientFaultError(VirtError):
+    """A retryable transport/backend failure.
+
+    Carries ``penalty_s``: the modeled detection latency (CRC check,
+    watchdog timeout) the requester pays before it can retry.  The
+    frontend's bounded-retry path catches exactly this class.
+    """
+
+    kind = "transient"
+
+    def __init__(self, message: str, penalty_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.penalty_s = penalty_s
+
+
+class TransportCorruptionError(TransientFaultError):
+    """A virtio-pim message failed its integrity check before dispatch."""
+
+    kind = "transport_corruption"
+
+
+class BackendHungError(TransientFaultError):
+    """A backend worker stopped servicing the queue; detected by watchdog."""
+
+    kind = "backend_hang"
+
+
 # --------------------------------------------------------------------------
 # Cluster control plane
 # --------------------------------------------------------------------------
@@ -114,6 +146,18 @@ class ClusterError(ReproError):
 
 class AdmissionError(ClusterError):
     """A tenant request was rejected by admission control."""
+
+
+class HostCrashedError(ClusterError):
+    """An operation targeted a fleet host that has crashed."""
+
+
+# --------------------------------------------------------------------------
+# Fault injection
+# --------------------------------------------------------------------------
+
+class FaultInjectionError(ReproError):
+    """Fault-plan misuse: bad event target, unknown kind, bad schedule."""
 
 
 # --------------------------------------------------------------------------

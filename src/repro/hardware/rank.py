@@ -24,12 +24,32 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import DPUS_PER_CHIP, MAX_XFER_BYTES, RankConfig
-from repro.errors import ControlInterfaceError, MemoryAccessError, TransferError
+from repro.errors import (
+    ControlInterfaceError,
+    MemoryAccessError,
+    RankOfflineError,
+    TransferError,
+)
 from repro.hardware.chip import PimChip
 from repro.hardware.dpu import Dpu, DpuRunStats, DpuState
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import RankInstruments
+
+
+class RankHealth(enum.Enum):
+    """Fault-model health of a rank.
+
+    Real UPMEM ranks fail and slow down (the §3.5 motivation for
+    host-wide rank arbitration); the manager tracks this per rank.
+    ``OK`` ranks behave normally, ``DEGRADED`` ranks run slower by the
+    rank's ``degradation`` factor, ``OFFLINE`` ranks refuse every
+    guarded operation until repaired or replaced.
+    """
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    OFFLINE = "offline"
 
 
 class CiCommand(enum.Enum):
@@ -73,8 +93,9 @@ class ControlInterface:
         """Perform ``count`` CI operations; returns their native duration."""
         if count < 0:
             raise ControlInterfaceError(f"negative CI op count {count}")
+        self._rank._guard("ci")
         self.record(command, count)
-        return count * self._rank.cost.ci_op_native
+        return count * self._rank.cost.ci_op_native * self._rank.degradation
 
     def status(self) -> List[DpuState]:
         """One STATUS op reading the run state of every DPU."""
@@ -123,6 +144,15 @@ class Rank:
             for c in range((len(self.dpus) + DPUS_PER_CHIP - 1) // DPUS_PER_CHIP)
         ]
         self.ci = ControlInterface(self)
+        #: Fault-model state (see :class:`RankHealth`); ``degradation``
+        #: scales every guarded operation's duration (1.0 = nominal).
+        self.health = RankHealth.OK
+        self.degradation = 1.0
+        #: Fault-injection seam: when armed, called as ``hook(rank, op)``
+        #: before every guarded operation.  ``None`` (the default) keeps
+        #: the data path untouched, so a run without an injector is
+        #: byte-identical to one on a build without ``repro.faults``.
+        self.fault_hook = None
         # transfer statistics
         self.write_ops = 0
         self.read_ops = 0
@@ -140,6 +170,21 @@ class Rank:
             raise MemoryAccessError(
                 f"rank {self.index} has {self.nr_dpus} DPUs, asked for {index}"
             ) from None
+
+    def _guard(self, op: str) -> None:
+        """Fault seam + health gate for host-visible rank operations.
+
+        ``op`` is one of ``write``/``read``/``launch``/``ci``.  The hook
+        may mutate state (bit flips, health changes) or raise; an
+        OFFLINE rank then refuses the operation.  ``reset`` is
+        deliberately unguarded so repair paths can always run.
+        """
+        if self.fault_hook is not None:
+            self.fault_hook(self, op)
+        if self.health is RankHealth.OFFLINE:
+            raise RankOfflineError(
+                f"rank {self.index} is offline; cannot {op} — repair the "
+                f"rank or allocate a replacement")
 
     # -- transfers ---------------------------------------------------------
 
@@ -168,6 +213,7 @@ class Rank:
         Returns the simulated duration: fixed op cost + copy bandwidth +
         host-CPU interleaving work (C/AVX-512 unless ``rust_interleave``).
         """
+        self._guard("write")
         total = 0
         for spec in specs:
             buf = np.ascontiguousarray(spec.data).view(np.uint8).reshape(-1)
@@ -183,13 +229,15 @@ class Rank:
             )
         self.write_ops += 1
         self.bytes_written += total
-        duration = self._transfer_duration(total, len(specs), rust_interleave)
+        duration = (self._transfer_duration(total, len(specs), rust_interleave)
+                    * self.degradation)
         self.obs.xfer("write", total, duration)
         return duration
 
     def read_mram(self, specs: Sequence[ReadSpec],
                   rust_interleave: bool = False) -> Tuple[List[np.ndarray], float]:
         """Read-from-rank: returns per-spec buffers and the duration."""
+        self._guard("read")
         out: List[np.ndarray] = []
         total = 0
         for spec in specs:
@@ -201,7 +249,8 @@ class Rank:
             total += spec.length
         self.read_ops += 1
         self.bytes_read += total
-        duration = self._transfer_duration(total, len(specs), rust_interleave)
+        duration = (self._transfer_duration(total, len(specs), rust_interleave)
+                    * self.degradation)
         self.obs.xfer("read", total, duration)
         return out, duration
 
@@ -216,6 +265,7 @@ class Rank:
         run in parallel, so rank duration is the slowest DPU's duration.
         The launch also performs the mandatory CI boot sequence.
         """
+        self._guard("launch")
         indices = list(dpu_indices)
         self.ci.record(CiCommand.BOOT, len(indices))
         slowest = 0.0
@@ -234,6 +284,7 @@ class Rank:
             duration = (self.cost.pipeline_time(stats.tasklet_instructions)
                         + self.cost.dma_time(stats.dma_ops, stats.dma_bytes))
             slowest = max(slowest, duration)
+        slowest *= self.degradation
         self.obs.launch(len(indices), slowest)
         return slowest
 

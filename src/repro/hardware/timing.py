@@ -135,8 +135,22 @@ class CostModel:
     manager_reset: float = 597e-3
     #: Observer-thread sysfs polling period.
     manager_observe_period: float = 50e-3
-    #: Manager retry timeout when no rank is available.
+    #: Manager retry backoff *base* when no rank is available: attempt N
+    #: waits ``manager_retry_timeout * backoff_factor**N`` (plus jitter),
+    #: capped at ``manager_retry_max``.
     manager_retry_timeout: float = 100e-3
+    #: Upper bound on one manager retry backoff interval.
+    manager_retry_max: float = 1.6
+
+    # -- Fault detection / recovery -------------------------------------------
+    #: Frontend retry backoff base after a transient transport fault:
+    #: attempt N adds ``transport_retry_backoff * 2**(N-1)`` of wait.
+    transport_retry_backoff: float = 200e-6
+    #: Modeled integrity-check latency paid to detect a corrupted
+    #: virtio-pim message before it is re-sent.
+    transport_corruption_detect: float = 50e-6
+    #: Watchdog timeout that detects a hung backend worker.
+    backend_watchdog_timeout: float = 5e-3
 
     # -- VM lifecycle -------------------------------------------------------------
     #: Extra boot time contributed by one vUPMEM device (Section 3.2: <=2 ms).

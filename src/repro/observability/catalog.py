@@ -126,6 +126,10 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_manager_ranks", "gauge",
         "Ranks currently in each lifecycle state",
         ("state",), paper="Fig. 5"),
+    MetricSpec(
+        "repro_manager_allocation_retries_exhausted_total", "counter",
+        "Allocation requests abandoned after the retry budget ran out",
+        ("policy",), paper="§3.5 (allocation policy step 4)"),
 
     # -- hardware: per-rank operation telemetry -----------------------------
     MetricSpec(
@@ -234,6 +238,32 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_cluster_hosts_drained_total", "counter",
         "Hosts whose last allocated rank was migrated away",
         (), paper="§7 (consolidation frees whole hosts)"),
+
+    # -- fault injection & recovery (repro.faults) ---------------------------
+    MetricSpec(
+        "repro_fault_injected_total", "counter",
+        "Fault events fired by the injector, by fault kind",
+        ("kind",), paper="§3.5 motivation (ranks are failure-prone)"),
+    MetricSpec(
+        "repro_fault_detected_total", "counter",
+        "Faults noticed by a stack layer (error raised or verify failed)",
+        ("kind", "layer"), paper="§3.5 (manager health tracking)"),
+    MetricSpec(
+        "repro_fault_recovered_total", "counter",
+        "Successful recovery actions, by fault kind and action taken",
+        ("kind", "action"), paper="§7 (checkpoint/restore enables recovery)"),
+    MetricSpec(
+        "repro_fault_recovery_seconds", "histogram",
+        "Simulated time from fault detection to recovered service (MTTR)",
+        ("kind",), paper="§7"),
+    MetricSpec(
+        "repro_fault_sessions_lost_total", "counter",
+        "Sessions abandoned because recovery was impossible or exhausted",
+        (), paper="§3.5 (isolation keeps failures per-tenant)"),
+    MetricSpec(
+        "repro_fault_retries_total", "counter",
+        "Bounded-backoff retries of an operation after a transient fault",
+        ("layer",), paper="§4.1 (frontend request path)"),
 
     # -- trace bridge ------------------------------------------------------
     MetricSpec(

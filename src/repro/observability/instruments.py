@@ -169,6 +169,9 @@ class ManagerInstruments:
         ).labels(policy=policy)
         self._resets = instrument(registry, "repro_manager_resets_total")
         self._ranks = instrument(registry, "repro_manager_ranks")
+        self._exhausted = instrument(
+            registry, "repro_manager_allocation_retries_exhausted_total"
+        ).labels(policy=policy)
         self._policy = policy
 
     def transition(self, from_state: str, to_state: str) -> None:
@@ -181,6 +184,9 @@ class ManagerInstruments:
 
     def reset_scheduled(self) -> None:
         self._resets.inc()
+
+    def retries_exhausted(self) -> None:
+        self._exhausted.inc()
 
     def set_rank_states(self, counts: dict) -> None:
         """``counts`` maps state name -> number of ranks in that state."""
@@ -278,6 +284,45 @@ class ClusterInstruments:
 
     def host_drained(self) -> None:
         self._drained.inc()
+
+
+class FaultInstruments:
+    """Telemetry of the fault-injection and recovery subsystem.
+
+    One binding may live in a machine registry (single-host chaos) or the
+    cluster registry (host-crash scenarios); injectors, the frontend
+    retry path and the recovery helpers all share the ``repro_fault_*``
+    families.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._injected = instrument(registry, "repro_fault_injected_total")
+        self._detected = instrument(registry, "repro_fault_detected_total")
+        self._recovered = instrument(registry, "repro_fault_recovered_total")
+        self._recovery_seconds = instrument(
+            registry, "repro_fault_recovery_seconds")
+        self._sessions_lost = instrument(
+            registry, "repro_fault_sessions_lost_total")
+        self._retries = instrument(registry, "repro_fault_retries_total")
+
+    def injected(self, kind: str) -> None:
+        self._injected.labels(kind=kind).inc()
+
+    def detected(self, kind: str, layer: str) -> None:
+        self._detected.labels(kind=kind, layer=layer).inc()
+
+    def recovered(self, kind: str, action: str) -> None:
+        self._recovered.labels(kind=kind, action=action).inc()
+
+    def recovery_time(self, kind: str, seconds: float) -> None:
+        self._recovery_seconds.labels(kind=kind).observe(seconds)
+
+    def session_lost(self) -> None:
+        self._sessions_lost.inc()
+
+    def retry(self, layer: str) -> None:
+        self._retries.labels(layer=layer).inc()
 
 
 class TraceInstruments:

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import MRAM_HEAP_SYMBOL
-from repro.errors import AllocationError, TransferError
+from repro.errors import AllocationError, LaunchError, TransferError
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.transfer import DpuEntry, TransferMatrix, XferKind
 from repro.sdk.transport import RankChannel, Transport
@@ -43,6 +43,7 @@ class DpuSet:
                 f"{nr_dpus} requested DPUs"
             )
         self._freed = False
+        self._loaded = False
         #: Per-rank completion times of the most recent operation (Fig. 16).
         self.last_completions: List[Tuple[int, float]] = []
 
@@ -96,6 +97,7 @@ class DpuSet:
         self._check_alive()
         self._run([self.channels[ci].load(program)
                    for ci in self._active_channels()])
+        self._loaded = True
 
     def push(self, matrix_entries: Sequence[DpuEntry], kind: XferKind,
              symbol: str, offset: int) -> Optional[List[np.ndarray]]:
@@ -212,6 +214,10 @@ class DpuSet:
         virtualized transport turns into a full round trip.
         """
         self._check_alive()
+        if not self._loaded:
+            raise LaunchError(
+                "dpu_launch before dpu_load: no program is installed on "
+                "this set's DPUs")
         durations = [self.channels[ci].launch()
                      for ci in self._active_channels()]
         if status_poll_cadence is not None and durations:

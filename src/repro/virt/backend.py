@@ -79,6 +79,11 @@ class VUpmemBackend:
         self.worker_threads = worker_threads
         self.mapping: Optional[PerfModeMapping] = None
         self.requests_processed = 0
+        #: Fault-injection seam (armed by :mod:`repro.faults`): when set,
+        #: called as ``hook(backend)`` before any request work — a hung
+        #: worker raises :class:`~repro.errors.BackendHungError` here,
+        #: before side effects, so the frontend's retry is idempotent.
+        self.fault_hook = None
         #: Live telemetry (translation/interleave timings, request counts
         #: labeled by the currently bound rank).
         self.obs = BackendInstruments(metrics or MetricsRegistry(),
@@ -118,6 +123,8 @@ class VUpmemBackend:
                 batch_records: Optional[List[BatchRecord]] = None,
                 ) -> BackendResult:
         """Handle one transferq request; returns timing and any payload."""
+        if self.fault_hook is not None:
+            self.fault_hook(self)
         self.requests_processed += 1
         header, entries = deserialize_request(chain, self.memory)
         # Rank bound at arrival time (RELEASE unlinks while handling).

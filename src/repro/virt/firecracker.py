@@ -40,8 +40,6 @@ from repro.virt.vm import Vm, VUpmemDevice
 #: Firecracker's own boot time before devices are added (microVM scale).
 BASE_BOOT_TIME = 125e-3
 
-_vm_ids = itertools.count()
-
 
 @dataclass
 class VmConfig:
@@ -85,13 +83,18 @@ class Firecracker:
         self.driver = driver or UpmemDriver(machine)
         self.manager = manager or Manager(machine, self.driver)
         self.cost: CostModel = machine.cost
+        #: Per-launcher, not global: VM (and thus device) names depend
+        #: only on this machine's launch order, so a seeded run names its
+        #: devices identically no matter what ran earlier in the process
+        #: (the fault-timeline replay contract hashes these names).
+        self._vm_ids = itertools.count()
         #: Live telemetry (shares the machine registry): boots + devices.
         self.obs = VmInstruments(machine.metrics)
 
     def launch_vm(self, config: VmConfig) -> Vm:
         """Boot a microVM with the requested vUPMEM devices attached."""
         config.validate(self.machine)
-        vm_id = f"vm-{next(_vm_ids)}"
+        vm_id = f"vm-{next(self._vm_ids)}"
         memory = GuestMemory(config.mem_bytes)
         kvm = Kvm(self.cost)
         profiler = Profiler(self.machine.clock)

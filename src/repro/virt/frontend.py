@@ -23,10 +23,15 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.config import MRAM_HEAP_SYMBOL, MRAM_SIZE, PAGE_SIZE
-from repro.errors import TransferError
+from repro.errors import (
+    DeviceNotLinkedError,
+    HardwareError,
+    TransferError,
+    TransientFaultError,
+)
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
-from repro.observability.instruments import FrontendInstruments
+from repro.observability.instruments import FaultInstruments, FrontendInstruments
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.profile import OP_CI, OP_READ, OP_WRITE, Profiler
 from repro.sdk.transfer import Target, TransferMatrix, XferKind, DpuEntry
@@ -153,8 +158,16 @@ class VUpmemFrontend:
         #: Live telemetry (cache hits/misses, flush reasons, request
         #: latencies); shares the machine registry when built by
         #: :class:`~repro.virt.firecracker.Firecracker`.
-        self.obs = FrontendInstruments(metrics or MetricsRegistry(),
-                                       device_id)
+        registry = metrics or MetricsRegistry()
+        self.obs = FrontendInstruments(registry, device_id)
+        self.fault_obs = FaultInstruments(registry)
+        #: Fault-injection seam (armed by :mod:`repro.faults`): when set,
+        #: called as ``hook(frontend)`` before each transferq roundtrip —
+        #: returns a stall duration to add and may raise a
+        #: :class:`TransientFaultError`.  ``None`` keeps the path exact.
+        self.fault_hook = None
+        #: Bounded retry budget for transient transport faults.
+        self.max_transport_retries = 3
 
     # -- core message path --------------------------------------------------
 
@@ -164,6 +177,48 @@ class VUpmemFrontend:
                    batch_records: Optional[List[BatchRecord]] = None,
                    extra_pages: int = 0,
                    ) -> Tuple[BackendResult, float, Optional[SerializedRequest]]:
+        """Send one request, retrying on transient transport faults.
+
+        Bounded retry with exponential backoff: each retry re-sends the
+        identical request, which is safe because a transient fault fires
+        before the backend performs any work.  Detection latency, stall
+        time and backoff all ride the returned duration — hooks never
+        advance the clock, so time stays single-writer.  With the retry
+        budget exhausted the prefetch cache is dropped (its lines may
+        reflect state the failed exchange was about to change) and the
+        fault propagates.
+        """
+        penalty = 0.0
+        attempts = 0
+        while True:
+            try:
+                if self.fault_hook is not None:
+                    penalty += self.fault_hook(self)
+                result, duration, sreq = self._roundtrip_once(
+                    header, matrix=matrix, program=program,
+                    batch_records=batch_records, extra_pages=extra_pages)
+            except TransientFaultError as exc:
+                attempts += 1
+                penalty += exc.penalty_s
+                self.fault_obs.detected(exc.kind, "frontend")
+                if attempts > self.max_transport_retries:
+                    self.cache.invalidate()
+                    raise
+                self.fault_obs.retry("frontend")
+                penalty += (self.cost.transport_retry_backoff
+                            * 2 ** (attempts - 1))
+                continue
+            if attempts:
+                self.fault_obs.recovered("transient", "retry")
+            return result, duration + penalty, sreq
+
+    def _roundtrip_once(self, header: RequestHeader,
+                        matrix: Optional[TransferMatrix] = None,
+                        program: Optional[DpuProgram] = None,
+                        batch_records: Optional[List[BatchRecord]] = None,
+                        extra_pages: int = 0,
+                        ) -> Tuple[BackendResult, float,
+                                   Optional[SerializedRequest]]:
         """Send one request through the transferq; returns the backend
         result, the total frontend+VMM duration, and the serialized form."""
         page_time = ser_time = 0.0
@@ -264,7 +319,11 @@ class VUpmemFrontend:
         if self.batch.empty:
             return 0.0
         self.obs.batch_flush(reason)
-        records = self.batch.drain()
+        # Peek, send, then clear: if the flush fails mid-flight the
+        # records stay buffered for an idempotent replay after recovery,
+        # and any prefetched lines (possibly stale vs the partially
+        # applied batch) are dropped.
+        records = list(self.batch.records)
         # One wire entry per DPU carrying that DPU's buffered bytes.
         per_dpu: Dict[int, List[BatchRecord]] = {}
         for record in records:
@@ -277,8 +336,13 @@ class VUpmemFrontend:
         matrix = TransferMatrix(XferKind.TO_DPU, MRAM_HEAP_SYMBOL, 0, entries)
         header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=0,
                                symbol=MRAM_HEAP_SYMBOL)
-        _, duration, _ = self._roundtrip(header, matrix=matrix,
-                                         batch_records=records)
+        try:
+            _, duration, _ = self._roundtrip(header, matrix=matrix,
+                                             batch_records=records)
+        except Exception:
+            self.cache.invalidate()
+            raise
+        self.batch.drain()
         self.profiler.record_op(OP_WRITE, duration)
         return duration
 
@@ -420,10 +484,27 @@ class VUpmemFrontend:
         self.obs.queue_depth("controlq", self.queues.controlq.pending)
 
     def release(self) -> float:
-        duration = self._flush_batch(reason="release")
+        """Tear the device's rank binding down.
+
+        Hardened against dying hardware: releasing runs inside
+        exception unwinds (``DpuSet.__exit__``), so a dead rank must
+        not raise here and mask the error that killed the run.  The
+        buffered writes can never land on a dead rank; they are dropped
+        with the cache, and the backend is force-unlinked if even the
+        RELEASE exchange fails.
+        """
+        try:
+            duration = self._flush_batch(reason="release")
+        except (HardwareError, DeviceNotLinkedError, TransientFaultError):
+            self.batch.drain()
+            duration = 0.0
         self.cache.invalidate()
         header = RequestHeader(kind=RequestKind.RELEASE)
-        _, rt, _ = self._roundtrip(header)
+        try:
+            _, rt, _ = self._roundtrip(header)
+        except (HardwareError, DeviceNotLinkedError, TransientFaultError):
+            self.backend.unlink()
+            rt = 0.0
         self._notify_manager(linked=False)
         return duration + rt
 

@@ -6,7 +6,10 @@ rank's index, status-file location, assigned vUPMEM device and state:
 - ``ALLO`` — allocated to a VM (or a native application);
 - ``NAAV`` — not allocated, available;
 - ``NANA`` — not allocated, not available: released and undergoing the
-  memory reset that guarantees isolation between tenants.
+  memory reset that guarantees isolation between tenants;
+- ``FAIL`` — quarantined after a detected hardware failure; never
+  allocated until explicitly repaired, and blacklisted for good after
+  repeated failures (``blacklist_threshold``).
 
 Allocation policy (paper order):
 
@@ -14,8 +17,8 @@ Allocation policy (paper order):
    reset (no leak: it is the requester's own data);
 2. otherwise a NAAV rank, chosen round-robin;
 3. otherwise, if NANA ranks exist, wait for the earliest reset to finish;
-4. otherwise retry after a timeout, a configurable number of times, then
-   abandon the request.
+4. otherwise retry after an exponential backoff with jitter, a
+   configurable number of times, then abandon the request.
 
 Releases are *not* signalled by VMs: a dedicated observer watches the
 driver's sysfs status files, so native host applications and VMs coexist
@@ -28,11 +31,14 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.config import MANAGER_POOL_THREADS
-from repro.errors import ManagerError
+from repro.errors import DriverError, ManagerError
 from repro.driver.driver import UpmemDriver
 from repro.hardware.clock import SimClock
 from repro.hardware.machine import Machine
+from repro.hardware.rank import RankHealth
 from repro.hardware.timing import CostModel
 from repro.observability.instruments import ManagerInstruments
 
@@ -43,6 +49,7 @@ class RankState(enum.Enum):
     ALLO = "ALLO"   #: in use
     NAAV = "NAAV"   #: not allocated, available
     NANA = "NANA"   #: not allocated, not available (reset in progress)
+    FAIL = "FAIL"   #: quarantined after a hardware failure
 
 
 @dataclass
@@ -56,6 +63,10 @@ class RankRecord:
     assigned_device: Optional[str] = None
     last_owner: Optional[str] = None
     reset_done_at: float = 0.0
+    #: Lifetime failure count; at ``blacklist_threshold`` the rank is
+    #: refused repair and stays FAIL for good.
+    fault_count: int = 0
+    failed_at: float = 0.0
 
 
 @dataclass
@@ -68,6 +79,9 @@ class ManagerStats:
     waits: int = 0
     abandoned: int = 0
     emulated_allocations: int = 0
+    failures: int = 0
+    repairs: int = 0
+    retries_exhausted: int = 0
 
 
 class Manager:
@@ -86,7 +100,11 @@ class Manager:
                  max_attempts: int = 5,
                  oversubscription: bool = False,
                  emulation_slowdown: float = 20.0,
-                 policy: str = "round_robin") -> None:
+                 policy: str = "round_robin",
+                 blacklist_threshold: int = 3,
+                 backoff_factor: float = 2.0,
+                 backoff_jitter: float = 0.1,
+                 backoff_seed: int = 0) -> None:
         if policy not in self.POLICIES:
             raise ValueError(
                 f"unknown allocation policy {policy!r}; "
@@ -99,6 +117,12 @@ class Manager:
         self.pool_threads = pool_threads
         self.max_attempts = max_attempts
         self.policy = policy
+        self.blacklist_threshold = blacklist_threshold
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        #: Seeded jitter stream: retries desynchronize without breaking
+        #: the simulation's run-to-run determinism.
+        self._backoff_rng = np.random.default_rng(backoff_seed)
         self.stats = ManagerStats()
         #: Live telemetry (shares the machine registry): state transitions,
         #: allocation outcomes/waits per policy and the rank-table gauge.
@@ -252,12 +276,21 @@ class Manager:
                 self.stats.emulated_allocations += 1
                 return rank.index
 
-            # 5. Nothing at all: retry after the configured timeout.
-            self.clock.advance(self.cost.manager_retry_timeout)
+            # 5. Nothing at all: exponential backoff with jitter — a
+            # herd of waiting requesters spreads out instead of
+            # re-polling the rank table in lockstep.
+            delay = min(self.cost.manager_retry_timeout
+                        * self.backoff_factor ** _attempt,
+                        self.cost.manager_retry_max)
+            delay *= 1.0 + self.backoff_jitter * float(
+                self._backoff_rng.random())
+            self.clock.advance(delay)
             self.stats.waits += 1
 
         self.stats.abandoned += 1
+        self.stats.retries_exhausted += 1
         self.obs.allocation("abandoned", self.clock.now - arrived_at)
+        self.obs.retries_exhausted()
         raise ManagerError(
             f"no rank available for {requester!r} after "
             f"{self.max_attempts} attempts"
@@ -281,6 +314,68 @@ class Manager:
                 self._rr_cursor = (indices.index(idx) + 1) % len(indices)
                 return idx
         return None
+
+    # -- failure handling (health tracking + quarantine) ---------------------------
+
+    def mark_failed(self, rank_index: int) -> None:
+        """Quarantine a rank after a detected hardware failure.
+
+        Idempotent; unknown indices (e.g. already-destroyed emulated
+        ranks) are ignored so unwind paths can call this untidily.
+        """
+        record = self.rank_table.get(rank_index)
+        if record is None or record.state is RankState.FAIL:
+            return
+        record.fault_count += 1
+        record.failed_at = self.clock.now
+        record.assigned_device = None
+        # The owner's data on a failed rank is untrustworthy: forget the
+        # owner so the NANA fast path can never hand it back unreset.
+        record.last_owner = None
+        self._transition(record, RankState.FAIL)
+        self.stats.failures += 1
+
+    def is_blacklisted(self, rank_index: int) -> bool:
+        """True once a rank has failed ``blacklist_threshold`` times."""
+        record = self.rank_table.get(rank_index)
+        return (record is not None
+                and record.fault_count >= self.blacklist_threshold)
+
+    def repair(self, rank_index: int) -> float:
+        """Return a FAIL rank to service through the isolation reset.
+
+        Restores the hardware's health, then walks the rank through
+        NANA so it re-enters the pool only after a full memory reset —
+        failed ranks may hold arbitrary garbage.  Refuses blacklisted
+        ranks.  Returns the modeled reset duration.
+        """
+        record = self.rank_table.get(rank_index)
+        if record is None or record.state is not RankState.FAIL:
+            state = record.state.value if record else "absent"
+            raise ManagerError(
+                f"rank {rank_index} is {state}, not FAIL; nothing to repair")
+        if self.is_blacklisted(rank_index):
+            raise ManagerError(
+                f"rank {rank_index} failed {record.fault_count} times "
+                f"(threshold {self.blacklist_threshold}); blacklisted")
+        try:
+            rank = self.driver.resolve_rank(rank_index)
+        except DriverError:
+            rank = None
+        if rank is not None:
+            rank.health = RankHealth.OK
+            rank.degradation = 1.0
+        self._transition(record, RankState.NANA)
+        record.reset_done_at = self.clock.now + self.cost.manager_reset
+        self.stats.repairs += 1
+        self.stats.resets += 1
+        self.obs.reset_scheduled()
+        return self.cost.manager_reset
+
+    def failed_ranks(self) -> List[int]:
+        """Indices currently quarantined (FAIL), sorted."""
+        return [idx for idx, rec in sorted(self.rank_table.items())
+                if rec.state is RankState.FAIL]
 
     # -- modeled resource usage (Section 4.2 "Manager's Overhead") -----------------
 

@@ -70,7 +70,14 @@ class Vm:
         rank_index = self.manager.allocate(device.device_id)
         device.backend.link_rank(rank_index)
         if not device.initialized:
-            self.machine.clock.advance(device.frontend.initialize())
+            try:
+                self.machine.clock.advance(device.frontend.initialize())
+            except Exception:
+                # The config roundtrip failed (e.g. injected transport
+                # fault): give the rank back, or it stays ALLO forever
+                # with nobody holding a channel to release it.
+                device.backend.unlink()
+                raise
             device.initialized = True
         return rank_index
 

@@ -1,7 +1,6 @@
 """Transfer-pattern fidelity: the op-count behaviours Section 5 hinges on."""
 
 import numpy as np
-import pytest
 
 from repro.apps.micro.checksum import Checksum, ci_ops_for_size
 from repro.apps.prim.nw import NeedlemanWunsch

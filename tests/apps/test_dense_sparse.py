@@ -1,7 +1,6 @@
 """Per-app edge cases: VA, GEMV, SpMV, MLP (dense/sparse linear algebra)."""
 
 import numpy as np
-import pytest
 
 from repro.apps.prim.gemv import Gemv
 from repro.apps.prim.mlp import MultilayerPerceptron

@@ -1,6 +1,5 @@
 """Admission control and placement: queueing, quotas, backpressure."""
 
-import pytest
 
 from repro.cluster import Scheduler, TenantRequest
 

@@ -1,0 +1,134 @@
+"""Fleet-scope faults: host crashes, eviction, re-placement."""
+
+import pytest
+
+from repro.analysis.chaos import (
+    ChaosConfig,
+    fault_metric_snapshot,
+    run_chaos,
+    run_cluster_chaos,
+)
+from repro.cluster import Cluster, ClusterConfig, Scheduler, TenantRequest
+from repro.cluster.loadgen import ScenarioConfig
+from repro.errors import AdmissionError, HostCrashedError
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.virt.manager import RankState
+
+
+class TestHostCrash:
+    def test_crash_fails_every_rank_and_stops_fitting(self, cluster):
+        host = cluster.hosts[0]
+        host.crash()
+        assert not host.alive
+        assert not host.fits(1)
+        assert all(state is RankState.FAIL
+                   for state in host.manager.states().values())
+
+    def test_crash_is_idempotent(self, cluster):
+        host = cluster.hosts[0]
+        host.crash()
+        failures = host.manager.stats.failures
+        host.crash()
+        assert host.manager.stats.failures == failures
+
+    def test_migration_to_crashed_host_refused(self, cluster, scheduler):
+        scheduler.submit(TenantRequest(tenant="t0", nr_ranks=1))
+        placement = scheduler.try_place_next()
+        target = next(h for h in cluster.hosts if h is not placement.host)
+        target.crash()
+        with pytest.raises(HostCrashedError, match="crashed host"):
+            placement.move_to(target)
+
+
+class TestEviction:
+    def test_evicted_tenants_requeue_at_the_head(self, cluster, scheduler):
+        for i in range(2):
+            scheduler.submit(TenantRequest(tenant=f"t{i}", nr_ranks=1))
+        first = scheduler.try_place_next()
+        second = scheduler.try_place_next()
+        assert first is not None and second is not None
+        first.acquire()
+        second.acquire()
+        victim_host = first.host
+        victims = scheduler.active_on(victim_host)
+        victim_host.crash()
+        evicted = scheduler.evict_host(victim_host)
+        assert evicted == len(victims)
+        assert len(scheduler.queue) == evicted
+        # Head of queue, ahead of any later arrivals.
+        assert scheduler.queue[0] is victims[0].request
+        # Survivors keep running.
+        for placement in scheduler.active:
+            assert placement.host.alive
+
+    def test_replacement_lands_on_a_surviving_host(self, cluster, scheduler):
+        scheduler.submit(TenantRequest(tenant="t0", nr_ranks=1))
+        placement = scheduler.try_place_next()
+        placement.acquire()
+        dead = placement.host
+        dead.crash()
+        scheduler.evict_host(dead)
+        replacement = scheduler.try_place_next()
+        assert replacement is not None
+        assert replacement.host is not dead
+        assert replacement.host.alive
+
+    def test_admission_error_raised_on_strict_submit(self, scheduler):
+        with pytest.raises(AdmissionError, match="rejected_oversize"):
+            scheduler.submit_or_raise(
+                TenantRequest(tenant="t0", nr_ranks=99))
+
+
+class TestClusterChaosScenario:
+    SCENARIO = ScenarioConfig(
+        cluster=ClusterConfig(nr_hosts=3, ranks_per_host=2,
+                              dpus_per_rank=4),
+        nr_requests=12, run_apps=False, seed=1)
+
+    def _plan(self):
+        plan = FaultPlan(seed=1)
+        plan.add(0.5, FaultKind.HOST_CRASH, "host:host0")
+        return plan
+
+    def test_host_crash_replaces_all_tenants(self):
+        result = run_cluster_chaos(self.SCENARIO, self._plan())
+        assert result.crashed_hosts == ["host0"]
+        assert result.sessions_lost == 0
+        assert result.completed == result.submitted
+        assert "host_crash host:host0" in result.timeline
+
+    def test_same_seed_same_fleet_timeline(self):
+        a = run_cluster_chaos(self.SCENARIO, self._plan())
+        b = run_cluster_chaos(self.SCENARIO, self._plan())
+        assert a.timeline == b.timeline
+        assert a.timeline_digest == b.timeline_digest
+        assert a.metric_snapshot == b.metric_snapshot
+
+    def test_wildcard_crash_picks_a_live_host(self):
+        plan = FaultPlan(seed=0)
+        plan.add(0.5, FaultKind.HOST_CRASH, "host:*")
+        plan.add(0.6, FaultKind.HOST_CRASH, "host:*")
+        result = run_cluster_chaos(self.SCENARIO, plan)
+        assert len(result.crashed_hosts) == 2
+        assert len(set(result.crashed_hosts)) == 2
+        assert result.sessions_lost == 0
+
+
+class TestSingleHostChaosDriver:
+    def test_run_chaos_validates_config(self):
+        with pytest.raises(Exception, match="positive"):
+            run_chaos(ChaosConfig(nr_ranks=0))
+        with pytest.raises(Exception, match="fault kinds"):
+            run_chaos(ChaosConfig(kinds=("nope",)))
+
+    def test_snapshot_merges_registries(self, cluster):
+        injector = FaultInjector(FaultPlan(seed=0), cluster.clock,
+                                 registry=cluster.metrics)
+        injector.arm_cluster(cluster)
+        plan_event = injector.plan.add(0.0, FaultKind.HOST_CRASH,
+                                       "host:host0")
+        injector.pending.append(plan_event)
+        injector.fire_host_faults()
+        merged = fault_metric_snapshot(
+            [cluster.metrics] + [h.metrics for h in cluster.hosts])
+        assert merged["repro_fault_injected_total{kind=host_crash}"] == 1.0

@@ -1,7 +1,6 @@
 """Simulation determinism and miscellaneous end-to-end coverage."""
 
 import numpy as np
-import pytest
 
 from repro.apps.prim.nw import NeedlemanWunsch
 from repro.apps.prim.red import Reduction

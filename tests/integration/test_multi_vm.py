@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import small_machine
 from repro.core import VPim
-from repro.errors import AllocationError
 from repro.sdk.dpu_set import DpuSet
 from repro.virt.manager import RankState
 

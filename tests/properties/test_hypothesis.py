@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.config import MRAM_HEAP_SYMBOL, PAGE_SIZE
+from repro.config import PAGE_SIZE
 from repro.hardware.interleave import deinterleave, interleave
 from repro.hardware.memory import MemoryRegion
 from repro.hardware.timing import DEFAULT_COST_MODEL

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config import small_machine
-from repro.core import VPim
 from repro.errors import VmConfigError
 from repro.hardware.machine import Machine
 from repro.virt.firecracker import BASE_BOOT_TIME, Firecracker, VmConfig

@@ -1,7 +1,6 @@
 """The experimental vhost_vsock data path (Section 7 extension)."""
 
 import numpy as np
-import pytest
 
 from repro.apps.prim.nw import NeedlemanWunsch
 from repro.config import small_machine
@@ -30,8 +29,9 @@ def test_vhost_preserves_correctness():
 
 
 def test_vhost_reduces_message_cost():
-    app = lambda: NeedlemanWunsch(nr_dpus=8, seq_len=256, block_size=32,
-                                  chunk_bytes=64)
+    def app():
+        return NeedlemanWunsch(nr_dpus=8, seq_len=256, block_size=32,
+                               chunk_bytes=64)
     base = session_with(False).run(app())
     vhost = session_with(True).run(app())
     assert vhost.verified

@@ -1,7 +1,6 @@
 """Workload generators: determinism and structural validity."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.workloads.generators import (
