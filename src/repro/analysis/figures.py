@@ -23,7 +23,7 @@ from repro.apps.registry import PRIM_APPS, app_by_short_name
 from repro.config import MachineConfig, RankConfig
 from repro.core import VPim
 from repro.core.results import ExecutionReport
-from repro.observability import MetricsRegistry
+from repro.observability import MetricsRegistry, SpanRecorder
 from repro.sdk.dpu_set import DpuSet
 from repro.workloads.wikipedia import SyntheticCorpus
 
@@ -165,6 +165,40 @@ def run_app_instrumented(
     session.transport.profiler.tracer = tracer
     report = session.run(app)
     return report, registry, tracer
+
+
+def run_app_traced(
+        short_name: str, nr_dpus: int, mode: str = "vm",
+        profile: str = "test", preset: Optional[str] = None,
+        config: Optional[MachineConfig] = None,
+        sample_rate: float = 1.0,
+        **extra_params) -> Tuple[ExecutionReport, MetricsRegistry,
+                                 SpanRecorder]:
+    """Like :func:`run_app`, but under request-scoped distributed tracing.
+
+    Returns the report, the machine registry (now including the
+    ``repro_span_*`` series) and the machine's
+    :class:`~repro.observability.spans.SpanRecorder`, whose retained
+    traces feed :func:`repro.observability.critical_path` and the
+    Perfetto export — the ``repro trace`` CLI subcommand is a thin
+    wrapper over this.
+    """
+    cfg = config or machine_for_dpus(nr_dpus)
+    vpim = VPim(cfg)
+    recorder = vpim.spans
+    # The machine builds its recorder always-on; the head-sampling rate
+    # only matters from the next root span, so setting it here is safe.
+    recorder.sample_rate = sample_rate
+    params = dict(SIZE_PROFILES[profile].get(short_name, {}))
+    params.update(extra_params)
+    app = app_by_short_name(short_name).cls(nr_dpus=nr_dpus, **params)
+    if mode == "native":
+        session = vpim.native_session()
+    else:
+        session = vpim.vm_session(nr_vupmem=cfg.nr_ranks,
+                                  preset_name=preset)
+    report = session.run(app)
+    return report, vpim.machine.metrics, recorder
 
 
 def compare_app(short_name: str, nr_dpus: int, profile: str = "test",

@@ -32,6 +32,27 @@ class TraceEvent:
     duration: float
     args: Dict[str, object] = field(default_factory=dict)
 
+    #: tid of per-rank op tracks (``rank N`` renders as tid RANK_TID_BASE+N).
+    RANK_TID_BASE = 10
+
+    @property
+    def tid(self) -> int:
+        """Track id: segments, ops and misc each get a track, and ops
+        carrying a ``rank`` arg get one track *per rank* so Fig. 16-style
+        parallel handling renders as separate labeled rows."""
+        rank = self.args.get("rank")
+        if self.category == "op" and isinstance(rank, int):
+            return self.RANK_TID_BASE + rank
+        return {"segment": 1, "op": 2}.get(self.category, 3)
+
+    @property
+    def track_name(self) -> str:
+        rank = self.args.get("rank")
+        if self.category == "op" and isinstance(rank, int):
+            return f"rank {rank}"
+        return {"segment": "segments",
+                "op": "driver ops"}.get(self.category, "misc")
+
     def to_chrome(self) -> Dict[str, object]:
         return {
             "name": self.name,
@@ -40,7 +61,7 @@ class TraceEvent:
             "ts": self.start * 1e6,       # Chrome wants microseconds
             "dur": self.duration * 1e6,
             "pid": 1,
-            "tid": {"segment": 1, "op": 2}.get(self.category, 3),
+            "tid": self.tid,
             "args": self.args,
         }
 
@@ -81,9 +102,24 @@ class Tracer:
     # -- export ---------------------------------------------------------------
 
     def to_chrome_trace(self) -> str:
-        """Serialize to the Chrome trace-event JSON format."""
+        """Serialize to the Chrome trace-event JSON format.
+
+        Metadata (``M``) events naming the process and every used track
+        follow the ``X`` events, so viewers label per-rank rows instead
+        of showing bare tids.
+        """
+        tracks: Dict[int, str] = {}
+        for event in self.events:
+            tracks.setdefault(event.tid, event.track_name)
+        metadata: List[Dict[str, object]] = [{
+            "name": "process_name", "ph": "M", "pid": 1,
+            "args": {"name": "vPIM simulation"},
+        }]
+        for tid in sorted(tracks):
+            metadata.append({"name": "thread_name", "ph": "M", "pid": 1,
+                             "tid": tid, "args": {"name": tracks[tid]}})
         payload = {
-            "traceEvents": [e.to_chrome() for e in self.events],
+            "traceEvents": [e.to_chrome() for e in self.events] + metadata,
             "displayTimeUnit": "ms",
             "otherData": {"dropped_events": self.dropped},
         }

@@ -7,6 +7,7 @@ Usage::
     python -m repro compare NW --dpus 16          # native vs vPIM
     python -m repro figure fig9                   # regenerate a figure
     python -m repro metrics VA --dpus 60          # Prometheus snapshot
+    python -m repro trace NW --dpus 16            # span tree + critical path
     python -m repro cluster --policy best_fit     # fleet scenario replay
     python -m repro spec                          # the virtio-pim spec
 """
@@ -151,6 +152,56 @@ def cmd_metrics(args) -> int:
         tracer.save(args.trace)
         print(f"chrome trace ({len(tracer.events)} events) "
               f"written to {args.trace}", file=sys.stderr)
+    return 0 if report.verified else 1
+
+
+def cmd_trace(args) -> int:
+    """Run one application under tracing; print its latency anatomy."""
+    from repro.observability import (critical_path, layer_self_times,
+                                     render_prometheus, slowest_spans)
+
+    mode = "native" if args.mode == "native" else "vm"
+    report, registry, recorder = figures.run_app_traced(
+        args.app, args.dpus, mode=mode, profile=args.profile,
+        preset=args.preset, sample_rate=args.sample_rate)
+    if args.output:
+        recorder.save(args.output)
+        print(f"perfetto trace written to {args.output}", file=sys.stderr)
+    if args.logs:
+        recorder.log.save(args.logs)
+        print(f"trace-correlated logs written to {args.logs}",
+              file=sys.stderr)
+    if args.metrics_output:
+        with open(args.metrics_output, "w") as handle:
+            handle.write(render_prometheus(registry))
+        print(f"metrics snapshot written to {args.metrics_output}",
+              file=sys.stderr)
+    trace = recorder.latest()
+    if trace is None:
+        print(f"no trace retained (sample_rate={args.sample_rate}); "
+              f"{recorder.spans_started} spans started, "
+              f"{recorder.traces_finished} traces finished")
+        return 0 if report.verified else 1
+    root = trace.root
+    print(f"trace {trace.trace_id}: {len(trace)} spans, root {root.name} "
+          f"({root.duration * 1e3:.3f} ms simulated)")
+    self_times = layer_self_times(trace)
+    rows = [(layer, f"{seconds * 1e3:.3f}",
+             f"{seconds / root.duration * 100:.1f}%")
+            for layer, seconds in sorted(self_times.items(),
+                                         key=lambda kv: -kv[1])]
+    print(format_table(["layer", "self ms", "share"], rows,
+                       title="Per-layer self time"))
+    chain = critical_path(trace)
+    print("critical path: " + " > ".join(
+        f"{span.name} ({span.duration * 1e3:.3f}ms)" for span in chain))
+    slow = slowest_spans(trace, name="frontend.request", top=args.top)
+    if slow:
+        rows = [(span.span_id, span.attributes.get("kind", "?"),
+                 f"{span.start * 1e3:.3f}", f"{span.duration * 1e3:.3f}")
+                for span in slow]
+        print(format_table(["span", "kind", "start ms", "dur ms"], rows,
+                           title=f"Slowest {len(slow)} requests"))
     return 0 if report.verified else 1
 
 
@@ -321,6 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--trace", default=None, metavar="FILE",
                      help="also save the Chrome trace of the run")
     met.set_defaults(fn=cmd_metrics)
+
+    tra = sub.add_parser(
+        "trace",
+        help="run one application under request-scoped tracing")
+    tra.add_argument("app", choices=[i.short_name for i in ALL_APPS])
+    tra.add_argument("--dpus", type=int, default=16)
+    tra.add_argument("--mode", choices=["native", "vpim"], default="vpim")
+    tra.add_argument("--preset", choices=sorted(PRESETS), default=None)
+    tra.add_argument("--profile", choices=["test", "bench"], default="test")
+    tra.add_argument("--sample-rate", type=float, default=1.0,
+                     help="head-sampling rate in [0, 1] (faulted traces "
+                          "are always kept)")
+    tra.add_argument("--top", type=int, default=5,
+                     help="how many slowest requests to show")
+    tra.add_argument("--output", default=None, metavar="FILE",
+                     help="write the Perfetto/Chrome trace JSON here")
+    tra.add_argument("--logs", default=None, metavar="FILE",
+                     help="write the trace-correlated JSONL log here")
+    tra.add_argument("--metrics-output", default=None, metavar="FILE",
+                     help="also write a Prometheus metrics snapshot")
+    tra.set_defaults(fn=cmd_trace)
 
     clu = sub.add_parser(
         "cluster",

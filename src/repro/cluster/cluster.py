@@ -19,6 +19,7 @@ from repro.errors import ClusterError
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import SpanRecorder
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,9 @@ class Cluster:
         #: Fleet-wide control-plane telemetry (``repro_cluster_*``); per-host
         #: data-plane series stay in each host's machine registry.
         self.metrics = MetricsRegistry()
+        #: Fleet-wide trace context, shared by every host like the clock:
+        #: a tenant's trace survives cross-host placement and migration.
+        self.spans = SpanRecorder(self.clock, registry=self.metrics)
         self.hosts: List[ClusterHost] = [
             ClusterHost(
                 host_id=f"host{i}",
@@ -59,6 +63,7 @@ class Cluster:
                 clock=self.clock,
                 cost=cost,
                 manager_policy=config.manager_policy,
+                spans=self.spans,
             )
             for i in range(config.nr_hosts)
         ]

@@ -118,17 +118,28 @@ class Consolidator:
               receiver: ClusterHost) -> int:
         """Migrate every linked device of ``placement``; returns the count."""
         moved = 0
+        spans = self.cluster.spans
         for device in placement.linked_devices():
             source_rank = device.backend.mapping.rank
             nr_bytes = sum(dpu.mram.materialized_bytes
                            for dpu in source_rank.dpus)
-            try:
-                migrate_device(device, donor.manager,
-                               target_manager=receiver.manager)
-            except (DpuFaultError, ManagerError):
-                # A launch raced the plan or the receiver filled up:
-                # leave the device where it is, the next pass retries.
-                continue
+            with spans.scope("cluster.migrate", "cluster",
+                             from_host=donor.host_id,
+                             to_host=receiver.host_id,
+                             tenant=placement.tenant,
+                             device=device.device_id):
+                try:
+                    migrate_device(device, donor.manager,
+                                   target_manager=receiver.manager)
+                except (DpuFaultError, ManagerError):
+                    # A launch raced the plan or the receiver filled up:
+                    # leave the device where it is, the next pass retries.
+                    continue
+                spans.log.emit("migration", "cluster",
+                               tenant=placement.tenant,
+                               from_host=donor.host_id,
+                               to_host=receiver.host_id,
+                               device=device.device_id, bytes=nr_bytes)
             self.migrations += 1
             moved += 1
             self.obs.migration(donor.host_id, receiver.host_id, nr_bytes)

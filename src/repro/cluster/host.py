@@ -31,10 +31,11 @@ class ClusterHost:
     def __init__(self, host_id: str, config: MachineConfig,
                  clock: SimClock,
                  cost: CostModel = DEFAULT_COST_MODEL,
-                 manager_policy: str = "round_robin") -> None:
+                 manager_policy: str = "round_robin",
+                 spans=None) -> None:
         self.host_id = host_id
         self.vpim = VPim(config, cost=cost, clock=clock,
-                         manager_policy=manager_policy)
+                         manager_policy=manager_policy, spans=spans)
         #: False after :meth:`crash`; dead hosts never fit placements.
         self.alive = True
 

@@ -190,9 +190,15 @@ class Scheduler:
         if host is None:
             return None
         self.queue.pop(0)
-        vm = host.firecracker.launch_vm(VmConfig(
-            vcpus=self.vm_vcpus, mem_bytes=self.vm_mem_bytes,
-            nr_vupmem=request.nr_ranks))
+        spans = self.cluster.spans
+        with spans.scope("cluster.place", "cluster", host=host.host_id,
+                         tenant=request.tenant, nr_ranks=request.nr_ranks):
+            vm = host.firecracker.launch_vm(VmConfig(
+                vcpus=self.vm_vcpus, mem_bytes=self.vm_mem_bytes,
+                nr_vupmem=request.nr_ranks))
+            spans.log.emit("placement", "cluster", tenant=request.tenant,
+                           host=host.host_id, vm=vm.vm_id,
+                           nr_ranks=request.nr_ranks)
         placement = Placement(request=request, host=host, vm=vm,
                               placed_at=self.cluster.clock.now)
         self.active.append(placement)

@@ -31,17 +31,22 @@ class VPim:
                  cost: CostModel = DEFAULT_COST_MODEL,
                  oversubscription: bool = False,
                  emulation_slowdown: float = 20.0,
-                 clock=None, manager_policy: str = "round_robin") -> None:
+                 clock=None, manager_policy: str = "round_robin",
+                 spans=None) -> None:
         """``oversubscription`` enables the Section 7 extension: when all
         physical ranks are allocated, the manager hands out software-
         emulated ranks running ``emulation_slowdown``x slower.
 
         ``clock`` may be a shared :class:`~repro.hardware.clock.SimClock`
         so several hosts simulate one fleet-wide timeline
-        (``repro.cluster``); ``manager_policy`` selects the host
-        manager's NAAV-allocation policy.
+        (``repro.cluster``); likewise ``spans`` may be a shared
+        :class:`~repro.observability.spans.SpanRecorder` so cross-host
+        placements and migrations propagate one trace context.
+        ``manager_policy`` selects the host manager's NAAV-allocation
+        policy.
         """
-        self.machine = Machine(machine_config, cost, clock=clock)
+        self.machine = Machine(machine_config, cost, clock=clock,
+                               spans=spans)
         self.driver = UpmemDriver(self.machine)
         self.manager = Manager(self.machine, self.driver,
                                oversubscription=oversubscription,
@@ -52,6 +57,10 @@ class VPim:
     @property
     def clock(self):
         return self.machine.clock
+
+    @property
+    def spans(self):
+        return self.machine.spans
 
     def native_session(self) -> ExecutionSession:
         """A session running directly on the hardware (the paper baseline)."""

@@ -36,7 +36,19 @@ class ExecutionSession:
         vmexits_before = self.vm.kvm.stats.vmexits if self.vm else 0
         start = self.transport.clock.now
 
-        output = app.run(self.transport)
+        spans = self.transport.spans
+        root = (spans.begin("session.run", "session", start=start,
+                            app=app.short_name, mode=self.mode)
+                if spans is not None else None)
+        try:
+            output = app.run(self.transport)
+        finally:
+            # The root span always closes at the clock, even when the app
+            # dies mid-run — faulted traces must still finish (and be
+            # retained) for post-mortem attribution.
+            if spans is not None:
+                spans.end(root, end=max(self.transport.clock.now,
+                                        root.cursor))
 
         total = self.transport.clock.now - start
         verified = app.verify(output) if verify else True

@@ -49,26 +49,28 @@ class NativeRankChannel(RankChannel):
 
     def write(self, matrix: TransferMatrix) -> float:
         duration = self._mapping.write(matrix)
-        self._profiler.record_op(OP_WRITE, duration)
+        self._profiler.record_op(OP_WRITE, duration, rank=self.rank_index)
         self._profiler.record_wrank_step("T-data", duration)
         return duration
 
     def read(self, matrix: TransferMatrix) -> Tuple[List[np.ndarray], float]:
         buffers, duration = self._mapping.read(matrix)
-        self._profiler.record_op(OP_READ, duration)
+        self._profiler.record_op(OP_READ, duration, rank=self.rank_index)
         return buffers, duration
 
     def launch(self) -> float:
         run_time = self._mapping.launch()
         polls = launch_poll_count(run_time)
         poll_cpu_time = polls * self._cost.ci_op_native
-        self._profiler.record_op(OP_CI, poll_cpu_time, count=polls)
+        self._profiler.record_op(OP_CI, poll_cpu_time, count=polls,
+                                 rank=self.rank_index)
         # Polling overlaps the run; only the final poll extends the wall.
         return run_time + self._cost.ci_op_native
 
     def ci_ops(self, count: int) -> float:
         duration = self._mapping.ci_ops(count)
-        self._profiler.record_op(OP_CI, duration, count=count)
+        self._profiler.record_op(OP_CI, duration, count=count,
+                                 rank=self.rank_index)
         return duration
 
     def release(self) -> float:
@@ -85,7 +87,8 @@ class NativeTransport(Transport):
                  profiler: Optional[Profiler] = None) -> None:
         clock = clock or machine.clock
         cost = cost or machine.cost
-        super().__init__(clock, cost, profiler, metrics=machine.metrics)
+        super().__init__(clock, cost, profiler, metrics=machine.metrics,
+                         spans=machine.spans)
         self.machine = machine
         self.driver = driver or UpmemDriver(machine)
         self.owner = f"native-{next(_owner_ids)}"

@@ -66,6 +66,17 @@ class RecoveryReport:
         return bool(getattr(self.report, "verified", False))
 
 
+def _pin_retry_trace(spans) -> None:
+    """Make the rerun's root span share the failed attempt's trace_id,
+    link it back with ``retry_of``, and force retention (faulted traces
+    are always kept, whatever the sampling decision)."""
+    if spans is None or spans.last_root is None:
+        return
+    last = spans.last_root
+    spans.next_trace(trace_id=last.trace_id, retry_of=last.span_id,
+                     faulted=True)
+
+
 def run_with_recovery(session, app, max_attempts: int = 3,
                       retry_on_corruption: bool = True) -> RecoveryReport:
     """Run ``app`` on ``session``, re-running on recoverable faults.
@@ -82,6 +93,7 @@ def run_with_recovery(session, app, max_attempts: int = 3,
     """
     clock = session.transport.clock
     obs = FaultInstruments(session.transport.metrics)
+    spans = getattr(session.transport, "spans", None)
     faults: List[str] = []
     first_failure_at: Optional[float] = None
     for attempt in range(1, max_attempts + 1):
@@ -91,17 +103,22 @@ def run_with_recovery(session, app, max_attempts: int = 3,
             kind = fault_kind_of(exc)
             faults.append(kind)
             obs.detected(kind, "session")
+            if spans is not None:
+                spans.mark_last_faulted(kind)
             if first_failure_at is None:
                 first_failure_at = clock.now
             if attempt >= max_attempts:
                 obs.session_lost()
                 raise
             obs.retry("session")
+            _pin_retry_trace(spans)
             continue
         if not report.verified and retry_on_corruption:
             kind = "dpu_mram_bitflip"
             faults.append(kind)
             obs.detected(kind, "session")
+            if spans is not None:
+                spans.mark_last_faulted(kind)
             if first_failure_at is None:
                 first_failure_at = clock.now
             if attempt >= max_attempts:
@@ -109,6 +126,7 @@ def run_with_recovery(session, app, max_attempts: int = 3,
                 return RecoveryReport(report=report, attempts=attempt,
                                       faults=faults, recovered=False)
             obs.retry("session")
+            _pin_retry_trace(spans)
             continue
         if faults:
             obs.recovered(faults[-1], "rerun")

@@ -20,19 +20,21 @@ from repro.hardware.dimm import Dimm
 from repro.hardware.rank import Rank
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
 from repro.observability import MetricsRegistry
+from repro.observability.spans import SpanRecorder
 
 
 class Machine:
     """A host machine equipped with UPMEM PIM modules (Fig. 1 testbed).
 
-    Owns the three machine-wide singletons every layer shares: the
-    simulated clock, the cost model, and the metrics registry
+    Owns the machine-wide singletons every layer shares: the simulated
+    clock, the cost model, the metrics registry, and the span recorder
     (``docs/observability.md``).
     """
 
     def __init__(self, config: Optional[MachineConfig] = None,
                  cost: CostModel = DEFAULT_COST_MODEL,
-                 clock: Optional[SimClock] = None) -> None:
+                 clock: Optional[SimClock] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.config = config or paper_testbed()
         self.cost = cost
         #: ``clock`` may be shared: a fleet of machines simulated together
@@ -41,7 +43,12 @@ class Machine:
         #: Machine-wide metric store; ranks, the manager, vUPMEM devices
         #: and sessions all register their instruments here.
         self.metrics = MetricsRegistry()
-        self.ranks: List[Rank] = [Rank(rc, cost, metrics=self.metrics)
+        #: Machine-wide trace context; like the clock, ``spans`` may be
+        #: shared fleet-wide so cross-host migrations stay in one trace.
+        self.spans = spans or SpanRecorder(self.clock,
+                                           registry=self.metrics)
+        self.ranks: List[Rank] = [Rank(rc, cost, metrics=self.metrics,
+                                       spans=self.spans)
                                   for rc in self.config.ranks]
         self.dimms: List[Dimm] = [
             Dimm(i, self.ranks[i * RANKS_PER_DIMM:(i + 1) * RANKS_PER_DIMM])

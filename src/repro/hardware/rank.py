@@ -31,10 +31,12 @@ from repro.errors import (
     TransferError,
 )
 from repro.hardware.chip import PimChip
+from repro.hardware.clock import SimClock
 from repro.hardware.dpu import Dpu, DpuRunStats, DpuState
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import RankInstruments
+from repro.observability.spans import SpanRecorder
 
 
 class RankHealth(enum.Enum):
@@ -95,7 +97,12 @@ class ControlInterface:
             raise ControlInterfaceError(f"negative CI op count {count}")
         self._rank._guard("ci")
         self.record(command, count)
-        return count * self._rank.cost.ci_op_native * self._rank.degradation
+        duration = (count * self._rank.cost.ci_op_native
+                    * self._rank.degradation)
+        self._rank.spans.event("rank.ci", "rank", duration,
+                               rank=self._rank.index,
+                               command=command.value, count=count)
+        return duration
 
     def status(self) -> List[DpuState]:
         """One STATUS op reading the run state of every DPU."""
@@ -129,13 +136,18 @@ class Rank:
 
     def __init__(self, config: RankConfig,
                  cost: CostModel = DEFAULT_COST_MODEL,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.config = config
         self.cost = cost
         self.index = config.index
         #: Live telemetry; shares the machine registry when the rank
         #: belongs to a :class:`~repro.hardware.machine.Machine`.
         self.obs = RankInstruments(metrics or MetricsRegistry(), config.index)
+        #: Trace context; shares the machine recorder inside a
+        #: :class:`~repro.hardware.machine.Machine`.  Span events no-op
+        #: outside an active trace, so bare rank use stays untraced.
+        self.spans = spans or SpanRecorder(SimClock())
         self.dpus: List[Dpu] = [
             Dpu(config.index, i) for i in range(config.functional_dpus)
         ]
@@ -180,8 +192,16 @@ class Rank:
         deliberately unguarded so repair paths can always run.
         """
         if self.fault_hook is not None:
-            self.fault_hook(self, op)
+            try:
+                self.fault_hook(self, op)
+            except Exception:
+                # Flag the active trace in-flight: faulted traces bypass
+                # sampling, so the timeline of the failing request is
+                # always retained.
+                self.spans.mark_fault(f"rank_{op}_fault")
+                raise
         if self.health is RankHealth.OFFLINE:
+            self.spans.mark_fault("rank_offline")
             raise RankOfflineError(
                 f"rank {self.index} is offline; cannot {op} — repair the "
                 f"rank or allocate a replacement")
@@ -232,6 +252,8 @@ class Rank:
         duration = (self._transfer_duration(total, len(specs), rust_interleave)
                     * self.degradation)
         self.obs.xfer("write", total, duration)
+        self.spans.event("rank.write", "rank", duration,
+                         rank=self.index, bytes=total, targets=len(specs))
         return duration
 
     def read_mram(self, specs: Sequence[ReadSpec],
@@ -252,6 +274,8 @@ class Rank:
         duration = (self._transfer_duration(total, len(specs), rust_interleave)
                     * self.degradation)
         self.obs.xfer("read", total, duration)
+        self.spans.event("rank.read", "rank", duration,
+                         rank=self.index, bytes=total, targets=len(specs))
         return out, duration
 
     # -- execution -----------------------------------------------------------
@@ -286,6 +310,8 @@ class Rank:
             slowest = max(slowest, duration)
         slowest *= self.degradation
         self.obs.launch(len(indices), slowest)
+        self.spans.event("rank.launch", "rank", slowest,
+                         rank=self.index, dpus=len(indices))
         return slowest
 
     # -- lifecycle ---------------------------------------------------------------

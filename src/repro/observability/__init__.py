@@ -12,7 +12,14 @@ instrumented layer sits in the stack.
   code, docs, and tests;
 - :mod:`~repro.observability.instruments` — per-component bindings;
 - :mod:`~repro.observability.export` — Prometheus-text and JSON
-  exporters (``repro metrics`` prints these).
+  exporters (``repro metrics`` prints these);
+- :mod:`~repro.observability.spans` — request-scoped distributed
+  tracing (``Span``/``SpanContext``/``SpanRecorder``) over simulated
+  time, with Perfetto export and head-based sampling;
+- :mod:`~repro.observability.critical_path` — per-layer self-time and
+  critical-path attribution over finished traces;
+- :mod:`~repro.observability.logs` — trace-correlated structured JSONL
+  logging.
 """
 
 from repro.observability.catalog import CATALOG, instrument, register_all
@@ -28,15 +35,41 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 
+# Import order matters: spans pulls in instruments/logs, which need the
+# names above bound before any partially-initialized re-entry through
+# repro.hardware (machine imports this package).
+from repro.observability.critical_path import (  # noqa: E402
+    critical_path,
+    layer_self_times,
+    slowest_spans,
+)
+from repro.observability.logs import TraceLogger  # noqa: E402
+from repro.observability.spans import (  # noqa: E402
+    LAYERS,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    Trace,
+)
+
 __all__ = [
     "CATALOG",
     "DEFAULT_BUCKETS",
+    "LAYERS",
     "MetricFamily",
     "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "Trace",
+    "TraceLogger",
+    "critical_path",
     "instrument",
+    "layer_self_times",
     "register_all",
     "render_json",
     "render_prometheus",
     "save_snapshot",
+    "slowest_spans",
     "snapshot_dict",
 ]

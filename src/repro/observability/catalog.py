@@ -274,6 +274,20 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_trace_dropped_events_total", "counter",
         "Trace events dropped after the tracer's event cap",
         (), paper="implementation backstop (no paper counterpart)"),
+
+    # -- distributed tracing (repro.observability.spans) ---------------------
+    MetricSpec(
+        "repro_span_started_total", "counter",
+        "Spans opened by the recorder, by stack layer",
+        ("layer",), paper="Figs. 12/13 (per-layer request breakdowns)"),
+    MetricSpec(
+        "repro_span_dropped_total", "counter",
+        "Spans dropped by the per-trace or retained-trace caps, by reason",
+        ("reason",), paper="implementation backstop (bounded memory)"),
+    MetricSpec(
+        "repro_span_traces_total", "counter",
+        "Traces finished by the recorder, by retention outcome",
+        ("retained",), paper="§5 (sampled evaluation runs)"),
 )
 
 #: Name -> spec for quick lookup.

@@ -339,3 +339,27 @@ class TraceInstruments:
 
     def dropped(self) -> None:
         self._dropped.inc()
+
+
+class SpanInstruments:
+    """Telemetry of the span recorder itself.
+
+    Counters stay exact regardless of sampling: a trace decided away by
+    ``sample_rate`` still counts every span it started, so the metric
+    view never under-reports traffic the trace view chose not to keep.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._started = instrument(registry, "repro_span_started_total")
+        self._dropped = instrument(registry, "repro_span_dropped_total")
+        self._traces = instrument(registry, "repro_span_traces_total")
+
+    def started(self, layer: str, count: int = 1) -> None:
+        self._started.labels(layer=layer).inc(count)
+
+    def dropped(self, reason: str, count: int = 1) -> None:
+        self._dropped.labels(reason=reason).inc(count)
+
+    def trace(self, retained: bool) -> None:
+        self._traces.labels(retained=str(bool(retained)).lower()).inc()

@@ -1,0 +1,507 @@
+"""Request-scoped distributed tracing over simulated time.
+
+The paper's analysis lives in per-request breakdowns — Fig. 13 splits a
+single write-to-rank into Page/Ser/Int/Deser/T-data steps and Fig. 16
+shows per-rank completion timing — but aggregate metrics cannot answer
+"which layer ate the latency of *this* request?".  This module adds the
+span model that can: a :class:`Span` carries a :class:`SpanContext`
+(trace_id, span_id, parent_id) plus a stack layer, and a
+:class:`SpanRecorder` threads that context through every seam of the
+stack (session → SDK → frontend → virtio → backend → rank, plus the
+cluster control plane and fault recovery).
+
+Two properties are non-negotiable and shape the design:
+
+- **No clock writes.**  Hardware, frontend and backend methods *return*
+  durations; the SDK advances the clock once per logical operation.
+  Spans therefore never read ``clock.now`` mid-operation — each open
+  span keeps a *cursor* that children advance by their modeled
+  durations, so nested spans are exact even though the clock has not
+  moved yet.  Only root/scope spans (session runs, cluster actions)
+  anchor on the clock, because the clock genuinely advances there.
+- **Bounded memory.**  Spans buffer per active trace (capped), finished
+  traces are retained per a deterministic head-sampling decision
+  (``sample_rate``; faulted traces are always kept), and the retained
+  list itself is capped.  Every drop increments a ``repro_span_*``
+  counter, so counters stay exact even at ``sample_rate=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.observability.instruments import SpanInstruments
+from repro.observability.logs import TraceLogger
+from repro.observability.metrics import MetricsRegistry
+
+#: Stack layers, in top-down order.  The Perfetto export gives each its
+#: own named track; :func:`~repro.observability.critical_path.
+#: layer_self_times` reports per-layer self-time against this list.
+LAYERS = ("session", "sdk", "frontend", "virtio", "backend", "rank",
+          "cluster", "faults")
+
+#: Per-rank Perfetto tracks start at this tid (`rank N` → RANK_TID_BASE+N).
+RANK_TID_BASE = 100
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span: which trace it belongs to and its parent.
+
+    This is what *propagates* across layer seams: a backend span's
+    ``parent_id`` is the frontend request span that caused it, and a
+    recovery rerun reuses the failed attempt's ``trace_id``.
+    """
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int] = None
+
+
+@dataclass
+class Span:
+    """One timed unit of work on the simulated timeline.
+
+    ``duration`` stores the *modeled* duration exactly as the layer
+    reported it (not ``end - start``, which floats may round), so
+    span-derived sums match the profiler's bit-for-bit.
+    """
+
+    context: SpanContext
+    name: str
+    layer: str
+    start: float
+    end: Optional[float] = None
+    duration: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    links: List[Dict[str, object]] = field(default_factory=list)
+    depth: int = 0
+    #: Where the next child starts (advanced as children complete).
+    cursor: float = 0.0
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> int:
+        return self.context.span_id
+
+    @property
+    def parent_id(self) -> Optional[int]:
+        return self.context.parent_id
+
+    def link(self, kind: str, span_id: int) -> None:
+        """Attach a causal link that is not a parent edge (e.g. a flush
+        span linking the batched writes it absorbed, or a recovery rerun
+        linking the attempt it retries)."""
+        self.links.append({"kind": kind, "span_id": span_id})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name}, {self.layer}, id={self.span_id}, "
+                f"parent={self.parent_id}, [{self.start}, {self.end}])")
+
+
+@dataclass
+class Trace:
+    """One finished trace: a root span and everything beneath it."""
+
+    trace_id: str
+    spans: List[Span] = field(default_factory=list)
+    root: Optional[Span] = None
+    faulted: bool = False
+    sampled: bool = True
+    #: Spans not buffered because the per-trace cap was hit.
+    dropped_spans: int = 0
+
+    def by_layer(self, layer: str) -> List[Span]:
+        return [s for s in self.spans if s.layer == layer]
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def span(self, span_id: int) -> Optional[Span]:
+        for s in self.spans:
+            if s.span_id == span_id:
+                return s
+        return None
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class SpanRecorder:
+    """Records span trees against a simulated clock.
+
+    One recorder is shared machine-wide (``machine.spans``, like the
+    clock and the metrics registry) or fleet-wide (``cluster.spans``),
+    so context propagates across hosts the same way the shared
+    :class:`~repro.hardware.clock.SimClock` does.
+
+    API sketch::
+
+        root = spans.begin("session.run", "session", start=clock.now)
+        req = spans.begin("frontend.request", "frontend")   # at cursor
+        spans.event("frontend.serialize", "frontend", ser_time)
+        spans.end(req, duration=total)                      # exact
+        spans.end(root, end=clock.now)
+    """
+
+    def __init__(self, clock, sample_rate: float = 1.0,
+                 max_spans_per_trace: int = 100_000,
+                 max_traces: int = 256,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.clock = clock
+        self.sample_rate = sample_rate
+        self.max_spans_per_trace = max_spans_per_trace
+        self.max_traces = max_traces
+        self.obs = SpanInstruments(registry) if registry is not None else None
+        #: Finished traces that survived sampling/caps, oldest first.
+        self.traces: List[Trace] = []
+        #: Root span of the most recently finished trace (retained or
+        #: not) — what recovery links ``retry_of`` against.
+        self.last_root: Optional[Span] = None
+        #: Trace-correlated structured logging (JSONL).
+        self.log = TraceLogger(self)
+        self.spans_started = 0
+        self.spans_dropped: Dict[str, int] = {}
+        self.traces_finished = 0
+        self.traces_retained = 0
+        self._stack: List[Span] = []
+        self._trace: Optional[Trace] = None
+        self._last_finished: Optional[Trace] = None
+        self._last_kept = False
+        self._span_ids = 0
+        self._trace_seq = 0
+        self._trace_ids = 0
+        self._pin: Optional[Dict[str, object]] = None
+
+    # -- identity ------------------------------------------------------------
+
+    def _next_span_id(self) -> int:
+        self._span_ids += 1
+        return self._span_ids
+
+    def _next_trace_id(self) -> str:
+        self._trace_ids += 1
+        return f"trace-{self._trace_ids:06d}"
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any trace."""
+        return self._stack[-1] if self._stack else None
+
+    # -- sampling ------------------------------------------------------------
+
+    def _sample_next(self) -> bool:
+        """Deterministic systematic head sampling: keep trace *n* iff the
+        integer part of ``n * rate`` advanced — no RNG, so replays are
+        byte-identical (the chaos-digest contract)."""
+        rate = min(max(self.sample_rate, 0.0), 1.0)
+        self._trace_seq += 1
+        n = self._trace_seq
+        return math.floor(n * rate) > math.floor((n - 1) * rate)
+
+    def next_trace(self, trace_id: Optional[str] = None,
+                   retry_of: Optional[int] = None,
+                   faulted: bool = False) -> None:
+        """Pin the identity of the *next* root span.
+
+        Recovery uses this so a rerun session carries the failed
+        attempt's ``trace_id`` with a ``retry_of`` link, and is retained
+        regardless of sampling (``faulted=True``)."""
+        self._pin = {"trace_id": trace_id, "retry_of": retry_of,
+                     "faulted": faulted}
+
+    # -- recording -----------------------------------------------------------
+
+    def _buffer(self, span: Span) -> None:
+        self.spans_started += 1
+        if self.obs is not None:
+            self.obs.started(span.layer)
+        trace = self._trace
+        if trace is None:
+            return
+        if len(trace.spans) >= self.max_spans_per_trace:
+            trace.dropped_spans += 1
+            self._drop("span_cap")
+            return
+        trace.spans.append(span)
+
+    def _drop(self, reason: str, count: int = 1) -> None:
+        self.spans_dropped[reason] = self.spans_dropped.get(reason, 0) + count
+        if self.obs is not None:
+            self.obs.dropped(reason, count)
+
+    def begin(self, name: str, layer: str, start: Optional[float] = None,
+              **attributes: object) -> Span:
+        """Open a span.  With an open parent, ``start`` defaults to the
+        parent's cursor (duration-returning layers); with an empty stack
+        a new trace begins and ``start`` defaults to ``clock.now``."""
+        if self._stack:
+            parent = self._stack[-1]
+            context = SpanContext(trace_id=parent.trace_id,
+                                  span_id=self._next_span_id(),
+                                  parent_id=parent.span_id)
+            if start is None:
+                start = parent.cursor
+        else:
+            pin = self._pin
+            self._pin = None
+            trace_id = (pin or {}).get("trace_id") or self._next_trace_id()
+            context = SpanContext(trace_id=trace_id,
+                                  span_id=self._next_span_id())
+            if start is None:
+                start = self.clock.now
+            self._trace = Trace(trace_id=trace_id,
+                                sampled=self._sample_next(),
+                                faulted=bool((pin or {}).get("faulted")))
+            span = Span(context=context, name=name, layer=layer, start=start,
+                        attributes=dict(attributes), depth=0, cursor=start)
+            if pin and pin.get("retry_of") is not None:
+                span.link("retry_of", pin["retry_of"])  # type: ignore[arg-type]
+            self._trace.root = span
+            self._buffer(span)
+            self._stack.append(span)
+            return span
+        span = Span(context=context, name=name, layer=layer, start=start,
+                    attributes=dict(attributes), depth=len(self._stack),
+                    cursor=start)
+        self._buffer(span)
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, layer: str, duration: float,
+              start: Optional[float] = None,
+              **attributes: object) -> Optional[Span]:
+        """Record a completed child span of exactly ``duration`` under
+        the innermost open span, advancing its cursor.
+
+        No-op outside a trace (e.g. bare hardware unit tests), so layers
+        can call this unconditionally on their hot path."""
+        if not self._stack:
+            return None
+        parent = self._stack[-1]
+        if start is None:
+            start = parent.cursor
+        span = Span(context=SpanContext(trace_id=parent.trace_id,
+                                        span_id=self._next_span_id(),
+                                        parent_id=parent.span_id),
+                    name=name, layer=layer, start=start,
+                    end=start + duration, duration=duration,
+                    attributes=dict(attributes), depth=len(self._stack),
+                    cursor=start + duration)
+        parent.cursor = max(parent.cursor, span.end)
+        self._buffer(span)
+        return span
+
+    def end(self, span: Optional[Span], end: Optional[float] = None,
+            duration: Optional[float] = None, **attributes: object) -> None:
+        """Close ``span``.  Precedence: explicit ``duration`` (exact) >
+        explicit ``end`` > the span's cursor (sum of its children).
+
+        Still-open descendants (an exception unwound past them) are
+        closed at their cursors and flagged ``abandoned`` so one failed
+        request cannot corrupt the stack for the rest of the run."""
+        if span is None:
+            return
+        if span not in self._stack:
+            return
+        while self._stack and self._stack[-1] is not span:
+            inner = self._stack.pop()
+            if inner.end is None:
+                inner.end = inner.cursor
+                inner.duration = inner.end - inner.start
+                inner.attributes["abandoned"] = True
+        self._stack.pop()
+        if duration is not None:
+            span.duration = duration
+            span.end = span.start + duration
+        elif end is not None:
+            span.end = end
+            span.duration = end - span.start
+        else:
+            span.end = span.cursor
+            span.duration = span.end - span.start
+        span.attributes.update(attributes)
+        if self._stack:
+            parent = self._stack[-1]
+            parent.cursor = max(parent.cursor, span.end)
+        else:
+            self._finish_trace()
+
+    def rewind(self, span: Span) -> None:
+        """Reset ``span``'s cursor to its start, so the next child
+        overlaps the previous ones — how the SDK lays out per-rank
+        siblings of one parallel operation (Fig. 16)."""
+        span.cursor = span.start
+
+    @contextmanager
+    def scope(self, name: str, layer: str,
+              **attributes: object) -> Iterator[Span]:
+        """Span over a clock-advancing region (session runs, cluster
+        placement/migration): starts and ends at ``clock.now``."""
+        span = self.begin(name, layer, start=self.clock.now, **attributes)
+        try:
+            yield span
+        finally:
+            self.end(span, end=max(self.clock.now, span.cursor))
+
+    def mark_fault(self, kind: str) -> None:
+        """Flag the active trace as faulted: it is retained regardless of
+        the sampling decision (you always want the timeline of the
+        request that went wrong)."""
+        trace = self._trace
+        if trace is None:
+            return
+        trace.faulted = True
+        if trace.root is not None:
+            faults = trace.root.attributes.setdefault("faults", [])
+            if isinstance(faults, list):
+                faults.append(kind)
+
+    def _finish_trace(self) -> None:
+        trace = self._trace
+        self._trace = None
+        if trace is None:  # pragma: no cover - defensive
+            return
+        self.traces_finished += 1
+        self.last_root = trace.root
+        keep = trace.sampled or trace.faulted
+        if keep and len(self.traces) >= self.max_traces:
+            self._drop("trace_cap", len(trace.spans))
+            keep = False
+        if keep:
+            self.traces.append(trace)
+            self.traces_retained += 1
+        self._last_finished = trace
+        self._last_kept = keep
+        if self.obs is not None:
+            self.obs.trace(retained=keep)
+
+    def mark_last_faulted(self, kind: str) -> None:
+        """Retroactively flag the most recently finished trace as faulted.
+
+        Recovery only learns about some failures after the session root
+        closed (an exception unwinding past it, a failed ``verify``), so
+        the faulted-always-retained guarantee needs this post-hoc path:
+        the trace is flagged and, if head sampling had discarded it,
+        retained after the fact.  The ``repro_span_traces_total`` counter
+        keeps its finish-time label — only the internal retention changes.
+        """
+        trace = self._last_finished
+        if trace is None:
+            return
+        trace.faulted = True
+        if trace.root is not None:
+            faults = trace.root.attributes.setdefault("faults", [])
+            if isinstance(faults, list):
+                faults.append(kind)
+        if not self._last_kept:
+            if len(self.traces) >= self.max_traces:
+                self._drop("trace_cap", len(trace.spans))
+            else:
+                self.traces.append(trace)
+                self.traces_retained += 1
+                self._last_kept = True
+
+    # -- queries -------------------------------------------------------------
+
+    def latest(self) -> Optional[Trace]:
+        """The most recently retained trace."""
+        return self.traces[-1] if self.traces else None
+
+    def traces_for(self, trace_id: str) -> List[Trace]:
+        """All retained traces sharing ``trace_id`` (recovery attempts)."""
+        return [t for t in self.traces if t.trace_id == trace_id]
+
+    def clear(self) -> None:
+        """Drop retained traces (between independent experiment runs)."""
+        self.traces.clear()
+
+    # -- Perfetto export -----------------------------------------------------
+
+    def _tid_of(self, span: Span) -> int:
+        rank = span.attributes.get("rank")
+        if span.layer == "rank" and isinstance(rank, int):
+            return RANK_TID_BASE + rank
+        try:
+            return LAYERS.index(span.layer) + 1
+        except ValueError:
+            return len(LAYERS) + 1
+
+    def to_perfetto(self) -> Dict[str, object]:
+        """Chrome trace-event JSON with nested spans on named tracks.
+
+        Emits ``M`` metadata events naming the process and one thread
+        per layer (plus one per rank), ``X`` complete events for every
+        span, and ``s``/``f`` flow events binding each backend span to
+        the frontend request that caused it — the guest→VMM causality
+        Perfetto draws as arrows across tracks."""
+        events: List[Dict[str, object]] = []
+        tids: Dict[int, str] = {}
+        for trace in self.traces:
+            spans_by_id = {s.span_id: s for s in trace.spans}
+            for span in trace.spans:
+                if span.end is None:
+                    continue
+                tid = self._tid_of(span)
+                rank = span.attributes.get("rank")
+                if span.layer == "rank" and isinstance(rank, int):
+                    tids[tid] = f"rank {rank}"
+                else:
+                    tids.setdefault(tid, span.layer)
+                args: Dict[str, object] = {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                }
+                if span.parent_id is not None:
+                    args["parent_id"] = span.parent_id
+                args.update(span.attributes)
+                if span.links:
+                    args["links"] = list(span.links)
+                events.append({
+                    "name": span.name, "cat": span.layer, "ph": "X",
+                    "ts": span.start * 1e6, "dur": span.duration * 1e6,
+                    "pid": 1, "tid": tid, "args": args,
+                })
+                parent = (spans_by_id.get(span.parent_id)
+                          if span.parent_id is not None else None)
+                if span.layer == "backend" and parent is not None:
+                    flow = {"cat": "flow", "name": "request",
+                            "id": span.span_id, "pid": 1}
+                    events.append({**flow, "ph": "s",
+                                   "tid": self._tid_of(parent),
+                                   "ts": span.start * 1e6})
+                    events.append({**flow, "ph": "f", "bp": "e", "tid": tid,
+                                   "ts": span.start * 1e6})
+        metadata: List[Dict[str, object]] = [{
+            "name": "process_name", "ph": "M", "pid": 1,
+            "args": {"name": "vPIM simulation"},
+        }]
+        for tid in sorted(tids):
+            metadata.append({"name": "thread_name", "ph": "M", "pid": 1,
+                             "tid": tid, "args": {"name": tids[tid]}})
+        for tid in sorted(tids):
+            metadata.append({"name": "thread_sort_index", "ph": "M", "pid": 1,
+                             "tid": tid, "args": {"sort_index": tid}})
+        return {
+            "traceEvents": events + metadata,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "traces_retained": len(self.traces),
+                "traces_finished": self.traces_finished,
+                "spans_dropped": dict(self.spans_dropped),
+            },
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_perfetto(), handle)

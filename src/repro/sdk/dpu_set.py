@@ -76,7 +76,7 @@ class DpuSet:
             )
         return per_channel
 
-    def _run(self, durations: List[float], contended: bool = True) -> None:
+    def _run(self, durations: List[float], contended: bool = True) -> float:
         """Combine per-rank durations, advance the clock, record completions."""
         elapsed, completions = self.transport.combine(durations, contended)
         self.transport.clock.advance(elapsed)
@@ -84,19 +84,50 @@ class DpuSet:
             (self.channels[i].rank_index, completions[i])
             for i in range(len(completions))
         ]
+        return elapsed
 
     def _active_channels(self) -> List[int]:
         """Channel positions that actually hold DPUs of this set."""
         used = sorted({ci for ci, _ in self._map})
         return used
 
+    # -- tracing helpers -------------------------------------------------------
+
+    def _begin_op(self, name: str, **attrs) -> object:
+        """Open one SDK-layer span covering a logical set operation."""
+        spans = self.transport.spans
+        if spans is None:
+            return None
+        return spans.begin(name, "sdk", start=self.transport.clock.now,
+                           nr_dpus=self.nr_dpus, **attrs)
+
+    def _sibling(self, span) -> None:
+        """Lay the next per-rank channel call out as a parallel sibling:
+        rewind the op span's cursor so concurrent ranks' sub-spans start
+        together (Fig. 16's parallel handling).  Sequential transports
+        keep the advancing cursor, so siblings chain back-to-back."""
+        spans = self.transport.spans
+        if spans is not None and span is not None and \
+                self.transport.parallel_ranks:
+            spans.rewind(span)
+
+    def _end_op(self, span, elapsed: float) -> None:
+        """Close the SDK op span at exactly the combined elapsed time."""
+        spans = self.transport.spans
+        if spans is not None and span is not None:
+            spans.end(span, duration=elapsed)
+
     # -- SDK operations ----------------------------------------------------------
 
     def load(self, program: DpuProgram) -> None:
         """``dpu_load``: install the program binary on every DPU."""
         self._check_alive()
-        self._run([self.channels[ci].load(program)
-                   for ci in self._active_channels()])
+        span = self._begin_op("sdk.load", program=program.name)
+        durations = []
+        for ci in self._active_channels():
+            self._sibling(span)
+            durations.append(self.channels[ci].load(program))
+        self._end_op(span, self._run(durations))
         self._loaded = True
 
     def push(self, matrix_entries: Sequence[DpuEntry], kind: XferKind,
@@ -104,6 +135,9 @@ class DpuSet:
         """``dpu_push_xfer``: one parallel rank operation per involved rank."""
         self._check_alive()
         per_channel = self._split_entries(matrix_entries)
+        span = self._begin_op(
+            "sdk.push", kind="to_dpu" if kind is XferKind.TO_DPU else "from_dpu",
+            symbol=symbol)
         durations: List[float] = []
         results_by_channel: List[List[np.ndarray]] = []
         involved: List[int] = []
@@ -113,6 +147,7 @@ class DpuSet:
             involved.append(ci)
             matrix = TransferMatrix(kind, symbol, offset, entries)
             matrix.validate()
+            self._sibling(span)
             if kind is XferKind.TO_DPU:
                 durations.append(self.channels[ci].write(matrix))
                 results_by_channel.append([])
@@ -122,6 +157,7 @@ class DpuSet:
                 results_by_channel.append(bufs)
         elapsed, completions = self.transport.combine(durations)
         self.transport.clock.advance(elapsed)
+        self._end_op(span, elapsed)
         self.last_completions = [
             (self.channels[ci].rank_index, completions[j])
             for j, ci in enumerate(involved)
@@ -218,28 +254,39 @@ class DpuSet:
             raise LaunchError(
                 "dpu_launch before dpu_load: no program is installed on "
                 "this set's DPUs")
-        durations = [self.channels[ci].launch()
-                     for ci in self._active_channels()]
+        span = self._begin_op("sdk.launch")
+        durations = []
+        for ci in self._active_channels():
+            self._sibling(span)
+            durations.append(self.channels[ci].launch())
         if status_poll_cadence is not None and durations:
             penalty = self.transport.launch_poll_penalty(
                 max(durations), status_poll_cadence)
             durations = [d + penalty for d in durations]
         # DPU execution is device-side: ranks overlap perfectly.
-        self._run(durations, contended=False)
+        self._end_op(span, self._run(durations, contended=False))
 
     def ci_ops(self, count: int) -> None:
         """Issue explicit control-interface traffic (status/command ops)."""
         self._check_alive()
         per_channel = count  # each rank's CI sees the full command stream
-        self._run([self.channels[ci].ci_ops(per_channel)
-                   for ci in self._active_channels()], contended=False)
+        span = self._begin_op("sdk.ci_ops", count=count)
+        durations = []
+        for ci in self._active_channels():
+            self._sibling(span)
+            durations.append(self.channels[ci].ci_ops(per_channel))
+        self._end_op(span, self._run(durations, contended=False))
 
     def free(self) -> None:
         """``dpu_free``: release all ranks of the set."""
         if self._freed:
             return
-        self._run([channel.release() for channel in self.channels],
-                  contended=False)
+        span = self._begin_op("sdk.free")
+        durations = []
+        for channel in self.channels:
+            self._sibling(span)
+            durations.append(channel.release())
+        self._end_op(span, self._run(durations, contended=False))
         self._freed = True
 
     # -- introspection --------------------------------------------------------------

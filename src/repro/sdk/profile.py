@@ -47,12 +47,29 @@ class OpStats:
 
 @dataclass
 class MessageStats:
-    """Frontend<->backend message accounting (drives Fig. 14's claims)."""
+    """Frontend<->backend message accounting (drives Fig. 14's claims).
+
+    Mutate through the ``count_*`` methods (mirroring
+    :class:`~repro.observability.instruments.FrontendInstruments`) so
+    profiler totals and live metrics cannot drift apart.
+    """
 
     requests: int = 0          #: virtio requests actually sent
     batched_writes: int = 0    #: small writes absorbed by the batch buffer
     cache_hits: int = 0        #: reads served from the prefetch cache
     cache_refills: int = 0     #: prefetch segment fetches
+
+    def count_request(self, count: int = 1) -> None:
+        self.requests += count
+
+    def count_batched_writes(self, count: int = 1) -> None:
+        self.batched_writes += count
+
+    def count_cache_hits(self, count: int = 1) -> None:
+        self.cache_hits += count
+
+    def count_cache_refills(self, count: int = 1) -> None:
+        self.cache_refills += count
 
 
 class Profiler:
@@ -116,12 +133,24 @@ class Profiler:
 
     # -- driver-centric --------------------------------------------------------
 
-    def record_op(self, kind: str, duration: float, count: int = 1) -> None:
+    def record_op(self, kind: str, duration: float, count: int = 1,
+                  start: Optional[float] = None,
+                  rank: Optional[int] = None) -> None:
+        """Account ``duration`` of driver/VMM time against ``kind``.
+
+        ``start`` is the operation's true simulated start.  Callers on
+        the duration-returning path record *before* the clock advances,
+        so it defaults to ``clock.now`` — not ``now - duration``, which
+        misplaced events whose cost lands after other clock advances.
+        Span-integrated callers pass the enclosing span's start instead.
+        """
         self.driver.setdefault(kind, OpStats()).record(duration, count)
         if self.tracer is not None:
-            self.tracer.record(kind, "op",
-                               max(0.0, self.clock.now - duration),
-                               duration, count=count)
+            if start is None:
+                start = self.clock.now
+            extra = {} if rank is None else {"rank": rank}
+            self.tracer.record(kind, "op", start, duration,
+                               count=count, **extra)
 
     def record_wrank_step(self, step: str, duration: float) -> None:
         if step not in WRANK_STEPS:

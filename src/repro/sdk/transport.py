@@ -26,6 +26,7 @@ import numpy as np
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
+from repro.observability.spans import SpanRecorder
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.profile import Profiler
 from repro.sdk.transfer import TransferMatrix
@@ -74,13 +75,17 @@ class Transport(abc.ABC):
 
     def __init__(self, clock: SimClock, cost: CostModel,
                  profiler: Optional[Profiler] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.clock = clock
         self.cost = cost
         self.profiler = profiler or Profiler(clock)
         #: Registry shared with the machine behind this transport; sessions
         #: record their run metrics here.
         self.metrics = metrics or MetricsRegistry()
+        #: Span recorder shared with the machine behind this transport;
+        #: ``None`` (e.g. bare test transports) disables tracing.
+        self.spans = spans
 
     @property
     @abc.abstractmethod

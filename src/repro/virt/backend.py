@@ -24,9 +24,11 @@ import numpy as np
 from repro.config import BACKEND_WORKER_THREADS, TRANSLATION_THREADS
 from repro.errors import DeviceNotLinkedError, SerializationError
 from repro.driver.driver import PerfModeMapping, UpmemDriver
+from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import BackendInstruments
+from repro.observability.spans import SpanRecorder
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.transfer import DpuEntry, TransferMatrix, XferKind
 from repro.virt.guest_memory import GuestMemory
@@ -69,7 +71,8 @@ class VUpmemBackend:
                  rust_data_path: bool = False,
                  translation_threads: int = TRANSLATION_THREADS,
                  worker_threads: int = BACKEND_WORKER_THREADS,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.device_id = device_id
         self.driver = driver
         self.memory = guest_memory
@@ -88,6 +91,10 @@ class VUpmemBackend:
         #: labeled by the currently bound rank).
         self.obs = BackendInstruments(metrics or MetricsRegistry(),
                                       device_id)
+        #: Trace context; shares the machine recorder when built by
+        #: :class:`~repro.virt.firecracker.Firecracker`, making each
+        #: backend span a child of the frontend request that caused it.
+        self.spans = spans or SpanRecorder(SimClock())
 
     # -- rank linking -------------------------------------------------------
 
@@ -124,12 +131,24 @@ class VUpmemBackend:
                 ) -> BackendResult:
         """Handle one transferq request; returns timing and any payload."""
         if self.fault_hook is not None:
-            self.fault_hook(self)
+            try:
+                self.fault_hook(self)
+            except Exception:
+                self.spans.mark_fault("backend_fault")
+                raise
         self.requests_processed += 1
         header, entries = deserialize_request(chain, self.memory)
         # Rank bound at arrival time (RELEASE unlinks while handling).
         rank = str(self.mapping.rank.index) if self.mapping else "none"
-        result = self._handle(header, entries, program, batch_records)
+        span = self.spans.begin("backend.request", "backend",
+                                kind=header.kind.name.lower(),
+                                rank=rank, device=self.device_id)
+        try:
+            result = self._handle(header, entries, program, batch_records)
+        except BaseException:
+            self.spans.end(span, error=True)
+            raise
+        self.spans.end(span, duration=result.duration)
         self.obs.request(header.kind.name.lower(), rank, result.duration)
         return result
 
@@ -183,8 +202,13 @@ class VUpmemBackend:
         for entry in entries:
             self.memory.translate_pages(entry.page_gpas)  # bounds-checked
         self.obs.translation(total_pages, translate_time)
+        self.spans.event("backend.deserialize", "backend", deser_time,
+                         pages=total_pages)
+        self.spans.event("backend.translate", "backend", translate_time,
+                         pages=total_pages, threads=effective_threads)
 
         dispatch_time = self.cost.backend_dispatch
+        self.spans.event("backend.dispatch", "backend", dispatch_time)
 
         if kind is RequestKind.WRITE_RANK:
             if batch_records is not None:

@@ -86,7 +86,8 @@ class EmulatedRankPool:
         index = self._next_index
         self._next_index += 1
         rank = Rank(RankConfig(index, dpus_per_rank),
-                    emulated_cost_model(self.machine.cost, self.slowdown))
+                    emulated_cost_model(self.machine.cost, self.slowdown),
+                    metrics=self.machine.metrics, spans=self.machine.spans)
         self._ranks[index] = rank
         return rank
 

@@ -109,7 +109,7 @@ class Firecracker:
             backend = VUpmemBackend(
                 device_id=device_id, driver=self.driver, guest_memory=memory,
                 cost=self.cost, rust_data_path=not config.opts.c_enhancement,
-                metrics=self.machine.metrics,
+                metrics=self.machine.metrics, spans=self.machine.spans,
             )
             # One MMIO window + IRQ per device, passed to the guest on
             # the kernel command line (Section 3.2).
@@ -128,7 +128,7 @@ class Firecracker:
                 device_id=device_id, queues=queues, memory=memory,
                 backend=backend, kvm=kvm, opts=config.opts, cost=self.cost,
                 profiler=profiler, mmio=mmio,
-                metrics=self.machine.metrics,
+                metrics=self.machine.metrics, spans=self.machine.spans,
             )
             vm.devices.append(VUpmemDevice(device_id=device_id,
                                            frontend=frontend,

@@ -32,6 +32,7 @@ from repro.errors import (
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import FaultInstruments, FrontendInstruments
+from repro.observability.spans import SpanRecorder
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.profile import OP_CI, OP_READ, OP_WRITE, Profiler
 from repro.sdk.transfer import Target, TransferMatrix, XferKind, DpuEntry
@@ -142,7 +143,8 @@ class VUpmemFrontend:
                  opts: OptimizationConfig, cost: CostModel,
                  profiler: Profiler,
                  mmio: Optional[MmioWindow] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.device_id = device_id
         self.queues = queues
         self.memory = memory
@@ -161,6 +163,16 @@ class VUpmemFrontend:
         registry = metrics or MetricsRegistry()
         self.obs = FrontendInstruments(registry, device_id)
         self.fault_obs = FaultInstruments(registry)
+        #: Trace context; shares the machine recorder when built by
+        #: :class:`~repro.virt.firecracker.Firecracker`, so frontend
+        #: request spans parent the backend spans they trigger.
+        self.spans = spans or SpanRecorder(profiler.clock)
+        #: Span ids of batched-write copies awaiting a flush; the flush
+        #: span links them so the absorbed writes stay attributable.
+        self._batch_span_ids: List[int] = []
+        #: Simulated start of the most recent request span (feeds the
+        #: profiler's tracer with true event starts).
+        self._last_request_start: Optional[float] = None
         #: Fault-injection seam (armed by :mod:`repro.faults`): when set,
         #: called as ``hook(frontend)`` before each transferq roundtrip —
         #: returns a stall duration to add and may raise a
@@ -176,6 +188,7 @@ class VUpmemFrontend:
                    program: Optional[DpuProgram] = None,
                    batch_records: Optional[List[BatchRecord]] = None,
                    extra_pages: int = 0,
+                   op: Optional[str] = None,
                    ) -> Tuple[BackendResult, float, Optional[SerializedRequest]]:
         """Send one request, retrying on transient transport faults.
 
@@ -187,30 +200,51 @@ class VUpmemFrontend:
         budget exhausted the prefetch cache is dropped (its lines may
         reflect state the failed exchange was about to change) and the
         fault propagates.
+
+        ``op`` tags the request span with the driver-centric operation
+        kind it accounts for (``W-rank``/``R-rank``), so span-derived
+        breakdowns match :meth:`Profiler.op_stats` exactly.
         """
+        attrs = {"kind": header.kind.name.lower(), "device": self.device_id}
+        if op is not None:
+            attrs["op"] = op
+        span = self.spans.begin("frontend.request", "frontend", **attrs)
+        self._last_request_start = span.start
         penalty = 0.0
         attempts = 0
-        while True:
-            try:
-                if self.fault_hook is not None:
-                    penalty += self.fault_hook(self)
-                result, duration, sreq = self._roundtrip_once(
-                    header, matrix=matrix, program=program,
-                    batch_records=batch_records, extra_pages=extra_pages)
-            except TransientFaultError as exc:
-                attempts += 1
-                penalty += exc.penalty_s
-                self.fault_obs.detected(exc.kind, "frontend")
-                if attempts > self.max_transport_retries:
-                    self.cache.invalidate()
-                    raise
-                self.fault_obs.retry("frontend")
-                penalty += (self.cost.transport_retry_backoff
-                            * 2 ** (attempts - 1))
-                continue
-            if attempts:
-                self.fault_obs.recovered("transient", "retry")
-            return result, duration + penalty, sreq
+        try:
+            while True:
+                try:
+                    if self.fault_hook is not None:
+                        penalty += self.fault_hook(self)
+                    result, duration, sreq = self._roundtrip_once(
+                        header, matrix=matrix, program=program,
+                        batch_records=batch_records, extra_pages=extra_pages)
+                except TransientFaultError as exc:
+                    attempts += 1
+                    penalty += exc.penalty_s
+                    self.fault_obs.detected(exc.kind, "frontend")
+                    self.spans.mark_fault(exc.kind)
+                    self.spans.log.emit(
+                        "transient_fault", "frontend", kind=exc.kind,
+                        attempt=attempts, device=self.device_id)
+                    if attempts > self.max_transport_retries:
+                        self.cache.invalidate()
+                        raise
+                    self.fault_obs.retry("frontend")
+                    penalty += (self.cost.transport_retry_backoff
+                                * 2 ** (attempts - 1))
+                    continue
+                if attempts:
+                    self.fault_obs.recovered("transient", "retry")
+                total = duration + penalty
+                self.spans.end(span, duration=total, retries=attempts)
+                return result, total, sreq
+        except BaseException:
+            # Close the request span on the error path too, so one failed
+            # exchange cannot leave a dangling parent for later requests.
+            self.spans.end(span, duration=penalty, error=True)
+            raise
 
     def _roundtrip_once(self, header: RequestHeader,
                         matrix: Optional[TransferMatrix] = None,
@@ -235,6 +269,10 @@ class VUpmemFrontend:
             ser_time = pages * self.cost.serialize_per_page
             chain = [write_buffer(self.memory, header.pack())]
 
+        self.spans.event("frontend.page_mgmt", "frontend", page_time,
+                         pages=pages)
+        self.spans.event("frontend.serialize", "frontend", ser_time,
+                         pages=pages)
         request_id = self.queues.transferq.add_chain(chain)
         self.obs.queue_depth("transferq", self.queues.transferq.pending)
         self.queues.transferq.kick()
@@ -247,6 +285,8 @@ class VUpmemFrontend:
             int_time = self.kvm.trap()
         else:
             int_time = self.kvm.trap() + self.cost.event_dispatch_cost
+        self.spans.event("virtio.kick", "virtio", int_time,
+                         queue="transferq")
 
         # The device takes the chain before processing; on failure it still
         # completes the request (with an error status) so the queue never
@@ -268,9 +308,11 @@ class VUpmemFrontend:
         self.queues.transferq.push_used(UsedElement(request_id=request_id))
         self.queues.transferq.pop_used()
         self.mmio.write(Reg.INTERRUPT_ACK, 1)
+        self.spans.event("virtio.irq", "virtio", irq_time,
+                         queue="transferq")
 
         self.obs.queue_depth("transferq", self.queues.transferq.pending)
-        self.profiler.messages.requests += 1
+        self.profiler.messages.count_request()
         duration = page_time + ser_time + int_time + result.duration + irq_time
         self.obs.request(header.kind.name.lower(), duration)
 
@@ -336,14 +378,22 @@ class VUpmemFrontend:
         matrix = TransferMatrix(XferKind.TO_DPU, MRAM_HEAP_SYMBOL, 0, entries)
         header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=0,
                                symbol=MRAM_HEAP_SYMBOL)
+        span = self.spans.begin("frontend.batch_flush", "frontend",
+                                reason=reason, records=len(records))
+        for span_id in self._batch_span_ids:
+            span.link("absorbed", span_id)
         try:
             _, duration, _ = self._roundtrip(header, matrix=matrix,
-                                             batch_records=records)
+                                             batch_records=records,
+                                             op=OP_WRITE)
         except Exception:
             self.cache.invalidate()
+            self.spans.end(span, error=True)
             raise
         self.batch.drain()
-        self.profiler.record_op(OP_WRITE, duration)
+        self._batch_span_ids = []
+        self.spans.end(span, duration=duration)
+        self.profiler.record_op(OP_WRITE, duration, start=span.start)
         return duration
 
     # -- SDK-visible operations ----------------------------------------------------
@@ -360,16 +410,24 @@ class VUpmemFrontend:
             copied = self.batch.add(matrix)
             copy_time = (copied / self.cost.guest_copy_bandwidth
                          + 0.3e-6 * len(matrix.entries))
-            self.profiler.messages.batched_writes += len(matrix.entries)
+            self.profiler.messages.count_batched_writes(len(matrix.entries))
             self.obs.batched_writes(len(matrix.entries))
-            self.profiler.record_op(OP_WRITE, copy_time)
+            event = self.spans.event("frontend.batch_copy", "frontend",
+                                     copy_time, op=OP_WRITE,
+                                     entries=len(matrix.entries),
+                                     bytes=copied)
+            if event is not None:
+                self._batch_span_ids.append(event.span_id)
+            self.profiler.record_op(
+                OP_WRITE, copy_time,
+                start=event.start if event is not None else None)
             return flush_time + copy_time
 
         duration = self._flush_batch(reason="large_write")
         header = RequestHeader(kind=RequestKind.WRITE_RANK,
                                offset=matrix.offset, symbol=matrix.symbol)
-        _, rt, _ = self._roundtrip(header, matrix=matrix)
-        self.profiler.record_op(OP_WRITE, rt)
+        _, rt, _ = self._roundtrip(header, matrix=matrix, op=OP_WRITE)
+        self.profiler.record_op(OP_WRITE, rt, start=self._last_request_start)
         return duration + rt
 
     def read(self, matrix: TransferMatrix) -> Tuple[List[np.ndarray], float]:
@@ -387,9 +445,14 @@ class VUpmemFrontend:
                 copy_bytes = sum(e.size for e in matrix.entries)
                 serve = (copy_bytes / self.cost.guest_copy_bandwidth
                          + 0.3e-6 * len(matrix.entries))
-                self.profiler.messages.cache_hits += len(matrix.entries)
+                self.profiler.messages.count_cache_hits(len(matrix.entries))
                 self.obs.prefetch_hit(len(matrix.entries))
-                self.profiler.record_op(OP_READ, serve)
+                event = self.spans.event("frontend.cache_serve", "frontend",
+                                         serve, op=OP_READ,
+                                         entries=len(matrix.entries))
+                self.profiler.record_op(
+                    OP_READ, serve,
+                    start=event.start if event is not None else None)
                 return [h for h in hits if h is not None], duration + serve
             self.obs.prefetch_miss(len(matrix.entries))
 
@@ -401,12 +464,12 @@ class VUpmemFrontend:
                                     matrix.offset, refill_entries)
             header = RequestHeader(kind=RequestKind.READ_RANK,
                                    offset=matrix.offset, symbol=matrix.symbol)
-            _, rt, sreq = self._roundtrip(header, matrix=refill)
+            _, rt, sreq = self._roundtrip(header, matrix=refill, op=OP_READ)
             assert sreq is not None
             for (dpu_index, size, gpa) in sreq.data_descriptors:
                 data = self.memory.read(gpa, size)
                 self.cache.fill(dpu_index, matrix.offset, data)
-            self.profiler.messages.cache_refills += len(matrix.entries)
+            self.profiler.messages.count_cache_refills(len(matrix.entries))
             self.obs.prefetch_refill(len(matrix.entries))
             buffers = []
             for entry in matrix.entries:
@@ -414,16 +477,17 @@ class VUpmemFrontend:
                                         entry.size)
                 assert hit is not None
                 buffers.append(hit)
-            self.profiler.record_op(OP_READ, rt)
+            self.profiler.record_op(OP_READ, rt,
+                                    start=self._last_request_start)
             return buffers, duration + rt
 
         header = RequestHeader(kind=RequestKind.READ_RANK,
                                offset=matrix.offset, symbol=matrix.symbol)
-        _, rt, sreq = self._roundtrip(header, matrix=matrix)
+        _, rt, sreq = self._roundtrip(header, matrix=matrix, op=OP_READ)
         assert sreq is not None
         buffers = [self.memory.read(gpa, size)
                    for (_dpu, size, gpa) in sreq.data_descriptors]
-        self.profiler.record_op(OP_READ, rt)
+        self.profiler.record_op(OP_READ, rt, start=self._last_request_start)
         return buffers, duration + rt
 
     def load(self, program: DpuProgram) -> float:
@@ -457,21 +521,29 @@ class VUpmemFrontend:
         if self.opts.vhost_vsock:
             # The in-kernel path halves the synchronous CI round trip.
             per_op = self.cost.ci_virt_roundtrip / 2 + self.cost.ci_op_native
+        span = self.spans.begin("frontend.ci_ops", "frontend",
+                                op=OP_CI, count=count)
         # Run a small number of real round trips through the queue
         # machinery, then account the rest arithmetically (the wire format
         # is identical for every op).
         real = min(count, 8)
-        for _ in range(real):
-            header = RequestHeader(kind=RequestKind.CI_OP, count=1)
-            self._roundtrip(header)
-        if count > real:
-            self.backend._require_mapping().ci_ops(count - real)
-            self.kvm.stats.vmexits += count - real
-            self.kvm.stats.irq_injections += count - real
-            self.profiler.messages.requests += count - real
-            self.obs.request_count("ci_op", count - real)
+        try:
+            for _ in range(real):
+                header = RequestHeader(kind=RequestKind.CI_OP, count=1)
+                self._roundtrip(header)
+            if count > real:
+                self.backend._require_mapping().ci_ops(count - real)
+                self.kvm.stats.vmexits += count - real
+                self.kvm.stats.irq_injections += count - real
+                self.profiler.messages.count_request(count - real)
+                self.obs.request_count("ci_op", count - real)
+        except BaseException:
+            self.spans.end(span, error=True)
+            raise
+        self.spans.end(span, duration=count * per_op)
         total = duration + count * per_op
-        self.profiler.record_op(OP_CI, count * per_op, count=count)
+        self.profiler.record_op(OP_CI, count * per_op, count=count,
+                                start=span.start)
         return total
 
     def _notify_manager(self, linked: bool) -> None:

@@ -73,7 +73,8 @@ class VirtTransport(Transport):
 
     def __init__(self, vm: Vm) -> None:
         super().__init__(vm.machine.clock, vm.machine.cost, vm.profiler,
-                         metrics=vm.machine.metrics)
+                         metrics=vm.machine.metrics,
+                         spans=vm.machine.spans)
         self.vm = vm
 
     @property
@@ -96,7 +97,12 @@ class VirtTransport(Transport):
         if polls:
             self.vm.kvm.stats.vmexits += polls
             self.vm.kvm.stats.irq_injections += polls
-            self.profiler.record_op("CI", penalty, count=polls)
+            event = (self.spans.event("sdk.launch_poll", "sdk", penalty,
+                                      op="CI", polls=polls)
+                     if self.spans is not None else None)
+            self.profiler.record_op(
+                "CI", penalty, count=polls,
+                start=event.start if event is not None else None)
         return penalty
 
     def contention(self) -> float:

@@ -1,0 +1,73 @@
+"""Tracer backstop: bounded memory, export round-trip, per-rank tracks."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.trace import TraceEvent, Tracer
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestMaxEventsBackstop:
+    def test_overflow_increments_dropped_and_the_counter(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(max_events=3, registry=registry)
+        for i in range(10):
+            tracer.record(f"op{i}", "op", float(i), 1.0)
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+        assert registry.value("repro_trace_dropped_events_total") == 7
+        assert registry.value("repro_trace_events_total", category="op") == 3
+
+    def test_dropped_events_survive_into_the_export(self):
+        tracer = Tracer(max_events=1)
+        tracer.record("a", "op", 0.0, 1.0)
+        tracer.record("b", "op", 1.0, 1.0)
+        payload = json.loads(tracer.to_chrome_trace())
+        assert payload["otherData"]["dropped_events"] == 1
+
+
+class TestChromeExportRoundTrip:
+    def test_export_round_trips_through_json_loads(self):
+        tracer = Tracer()
+        tracer.record("CPU-DPU", "segment", 0.0, 1.0)
+        tracer.record("W-rank", "op", 0.0, 0.5, count=2, rank=0)
+        tracer.record("W-rank", "op", 0.0, 0.5, count=2, rank=3)
+        tracer.record("note", "annotation", 1.0, 0.0)
+        payload = json.loads(tracer.to_chrome_trace())
+        events = payload["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 4
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_per_rank_ops_get_their_own_tids(self):
+        base = TraceEvent.RANK_TID_BASE
+        assert TraceEvent("W-rank", "op", 0.0, 1.0,
+                          args={"rank": 0}).tid == base
+        assert TraceEvent("W-rank", "op", 0.0, 1.0,
+                          args={"rank": 3}).tid == base + 3
+        # Rank args only split op tracks, never segments.
+        assert TraceEvent("seg", "segment", 0.0, 1.0,
+                          args={"rank": 3}).tid == 1
+        assert TraceEvent("W-rank", "op", 0.0, 1.0).tid == 2
+
+    def test_thread_name_metadata_labels_every_used_track(self):
+        tracer = Tracer()
+        tracer.record("CPU-DPU", "segment", 0.0, 1.0)
+        tracer.record("W-rank", "op", 0.0, 0.5, rank=1)
+        tracer.record("note", "annotation", 1.0, 0.0)
+        events = json.loads(tracer.to_chrome_trace())["traceEvents"]
+        # The X events come first (viewers tolerate either, the tests
+        # pin the layout), then process/thread metadata.
+        assert events[0]["ph"] == "X"
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"name": "vPIM simulation"} in [
+            e["args"] for e in meta if e["name"] == "process_name"]
+        tid_names = {e["tid"]: e["args"]["name"]
+                     for e in meta if e["name"] == "thread_name"}
+        assert tid_names[1] == "segments"
+        assert tid_names[TraceEvent.RANK_TID_BASE + 1] == "rank 1"
+        assert tid_names[3] == "misc"
+        used_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert used_tids <= set(tid_names)

@@ -48,6 +48,30 @@ def test_compare(capsys):
     assert "native" in out
 
 
+def test_trace_prints_critical_path_and_saves_artifacts(capsys, tmp_path):
+    import json
+
+    trace_file = tmp_path / "trace.json"
+    metrics_file = tmp_path / "metrics.prom"
+    code, out = run_cli(capsys, "trace", "CHK", "--dpus", "8",
+                        "--output", str(trace_file),
+                        "--metrics-output", str(metrics_file))
+    assert code == 0
+    assert "Per-layer self time" in out
+    assert "critical path: session.run" in out
+    assert "Slowest" in out
+    payload = json.loads(trace_file.read_text())
+    assert payload["traceEvents"][0]["ph"] == "X"
+    assert "repro_span_started_total" in metrics_file.read_text()
+
+
+def test_trace_zero_sample_rate_retains_nothing(capsys):
+    code, out = run_cli(capsys, "trace", "CHK", "--dpus", "8",
+                        "--sample-rate", "0")
+    assert code == 0
+    assert "no trace retained" in out
+
+
 def test_unknown_app_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "NOPE"])
