@@ -28,17 +28,29 @@ def cpu_bfs(row_ptr: np.ndarray, col_idx: np.ndarray, source: int,
     nv = row_ptr.size - 1
     levels = np.full(nv, -1, dtype=np.int32)
     levels[source] = 0
-    frontier = [source]
+    frontier = np.array([source], dtype=np.int64)
     level = 0
-    while frontier:
+    while frontier.size:
         level += 1
-        nxt = []
-        for v in frontier:
-            for u in col_idx[row_ptr[v]:row_ptr[v + 1]]:
-                if levels[u] < 0:
-                    levels[u] = level
-                    nxt.append(int(u))
-        frontier = nxt
+        starts = row_ptr[frontier].astype(np.int64)
+        sizes = (row_ptr[frontier + 1] - row_ptr[frontier]).astype(np.int64)
+        total = int(sizes.sum())
+        if total == 0:
+            break
+        csum = np.cumsum(sizes)
+        flat = np.arange(total) + np.repeat(starts - (csum - sizes), sizes)
+        neighbours = col_idx[flat]
+        # Level-synchronous expansion: every unvisited neighbour of the
+        # frontier gets this level, duplicates included (same level).
+        # Dense-bitmap dedup: same sorted-unique result as np.unique but
+        # without the hash pass (vertex ids are bounded by nv).
+        seen = np.zeros(nv, dtype=bool)
+        seen[neighbours[levels[neighbours] < 0]] = True
+        fresh = np.nonzero(seen)[0]
+        if fresh.size == 0:
+            break
+        levels[fresh] = level
+        frontier = fresh
     return levels
 
 
@@ -65,15 +77,19 @@ class BfsProgram(DpuProgram):
         if len(owned):
             ctx.mem_alloc(3 * 1024)
             nbytes = (nv + 7) // 8
-            frontier = np.unpackbits(
-                ctx.mram_read_blocks(f_off, nbytes))[:nv]
+            # All tasklets stream the same frontier bitmap and CSR index
+            # arrays; readonly reads share one buffer per run (DMA is
+            # still charged per tasklet, like the real per-tasklet loop).
+            packed = ctx.mram_read_blocks(f_off, nbytes, readonly=True)
             row_ptr = ctx.mram_read_blocks(
-                0, (n_owned + 1) * 4).view(np.int32)
-            local = np.zeros(nv, dtype=np.uint8)
-            # Active vertices of this tasklet's share (vectorized gather:
-            # the real kernel streams each neighbour list through WRAM).
+                0, (n_owned + 1) * 4, readonly=True).view(np.int32)
+            # Active vertices of this tasklet's share, tested directly on
+            # the packed bitmap (MSB-first, as np.unpackbits lays bits
+            # out) instead of unpacking all nv bits per tasklet.
             share = np.arange(owned.start, owned.stop)
-            active = share[frontier[first + share] == 1]
+            idx = first + share
+            bits = (packed[idx >> 3] >> (7 - (idx & 7))) & 1
+            active = share[bits == 1]
             edges = 0
             if active.size:
                 starts = row_ptr[active]
@@ -82,18 +98,22 @@ class BfsProgram(DpuProgram):
                 total = int(sizes.sum())
                 if total:
                     cols = ctx.mram_read_blocks(
-                        col_off, int(row_ptr[n_owned]) * 4).view(np.int32)
-                    gather = np.concatenate(
-                        [cols[s:e] for s, e in zip(starts, ends) if e > s])
-                    local[gather] = 1
+                        col_off, int(row_ptr[n_owned]) * 4,
+                        readonly=True).view(np.int32)
+                    # One fancy-index gather over all neighbour lists:
+                    # flat[k] walks each [s, e) run in order, exactly the
+                    # concatenation of the per-vertex slices.
+                    csum = np.cumsum(sizes)
+                    flat = (np.arange(total)
+                            + np.repeat(starts - (csum - sizes), sizes))
+                    ctx.shared.setdefault("merge", []).append(cols[flat])
                     edges = total
-            ctx.shared.setdefault("merge", []).append(local)
             ctx.charge_loop(max(1, edges), INSTR_PER_EDGE)
         yield ctx.barrier()
         if ctx.me() == 0:
             nxt = np.zeros(nv, dtype=np.uint8)
-            for local in ctx.shared.get("merge", []):
-                nxt |= local
+            for gathered in ctx.shared.get("merge", []):
+                nxt[gathered] = 1
             ctx.mram_write_blocks(ctx.host_u32("args", 5),
                                   np.packbits(nxt))
             ctx.charge(nv // 8)

@@ -48,13 +48,28 @@ class MlpProgram(DpuProgram):
         if len(rows) == 0:
             return
         ctx.mem_alloc(3 * 1024)
-        x = ctx.mram_read_blocks(x_off, n_cols * 4).view(np.int32)
+        x = ctx.mram_read_blocks(x_off, n_cols * 4, readonly=True)
         w = ctx.mram_read_blocks(w_off + rows.start * n_cols * 4,
                                  len(rows) * n_cols * 4).view(np.int32)
-        y = relu(w.reshape(len(rows), n_cols).astype(np.int64)
-                 @ x.astype(np.int64))
+        # All tasklets stream the same input vector; convert it once per
+        # DPU.  float64 keeps the arithmetic exact (|w| <= 4, |x| < 2^31,
+        # row sums stay far below 2^53) while the matmul runs on BLAS.
+        xf = ctx.shared.get("xf")
+        if xf is None:
+            xf = x.view(np.int32).astype(np.float64)
+            ctx.shared["xf"] = xf
+        # One conversion scratch per DPU, reused by every tasklet: the
+        # compute below runs without yielding, so tasklets never overlap
+        # inside it.  Avoids a fresh multi-100KB allocation per tasklet.
+        wf = ctx.shared.get("wf")
+        if wf is None or wf.size < len(rows) * n_cols:
+            wf = np.empty(len(rows) * n_cols, dtype=np.float64)
+            ctx.shared["wf"] = wf
+        wm = wf[:len(rows) * n_cols].reshape(len(rows), n_cols)
+        wm[...] = w.reshape(len(rows), n_cols)
+        y = relu(wm @ xf)
         # Saturate into int32 range as the fixed-point kernel would.
-        y = np.clip(y, 0, np.iinfo(np.int32).max).astype(np.int32)
+        y = np.minimum(y, np.iinfo(np.int32).max).astype(np.int32)
         ctx.mram_write_blocks(y_off + rows.start * 4, y)
         ctx.charge_loop(len(rows) * n_cols, INSTR_PER_MADD)
 
@@ -79,10 +94,12 @@ class MultilayerPerceptron(HostApplication):
                               seed=seed + 100)
 
     def expected(self) -> np.ndarray:
-        v = self.x.astype(np.int64)
+        # Exact in float64: weights are in [-4, 4], activations are
+        # clipped below 2^31, so every partial sum is an integer < 2^53.
+        v = self.x.astype(np.float64)
         for w in self.weights:
-            v = relu(w.astype(np.int64) @ v)
-            v = np.clip(v, 0, np.iinfo(np.int32).max)
+            v = relu(w.astype(np.float64) @ v)
+            v = np.minimum(v, np.iinfo(np.int32).max)
         return v.astype(np.int32)
 
     def run(self, transport: Transport) -> np.ndarray:

@@ -43,13 +43,16 @@ def _dp_rows(a: np.ndarray, b: np.ndarray, top: np.ndarray,
     nb = b.size
     prev = top.astype(np.int64)
     right = np.empty(a.size, dtype=np.int64)
-    js = np.arange(nb + 1, dtype=np.int64)
+    jg = np.arange(nb + 1, dtype=np.int64) * GAP
+    sub = np.where(b[np.newaxis, :] == a[:, np.newaxis],
+                   MATCH, MISMATCH).astype(np.int64)
+    v = np.empty(nb + 1, dtype=np.int64)
     for r in range(a.size):
-        sub = np.where(b == a[r], MATCH, MISMATCH).astype(np.int64)
-        v = np.empty(nb + 1, dtype=np.int64)
         v[0] = left[r]
-        v[1:] = np.maximum(prev[:-1] + sub, prev[1:] - GAP)
-        h = np.maximum.accumulate(v + js * GAP) - js * GAP
+        np.maximum(prev[:-1] + sub[r], prev[1:] - GAP, out=v[1:])
+        h = v + jg
+        np.maximum.accumulate(h, out=h)
+        h -= jg
         right[r] = h[-1]
         prev = h
     return prev, right

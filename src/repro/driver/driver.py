@@ -68,10 +68,13 @@ def launch_poll_count(run_duration: float, base_period: float = 50e-6,
 
 def apply_matrix_to_rank(rank: Rank, matrix: TransferMatrix,
                          rust_interleave: bool = False,
+                         into: Optional[List[np.ndarray]] = None,
                          ) -> Tuple[Optional[List[np.ndarray]], float]:
     """Execute ``matrix`` against ``rank``; entry indices are rank-local.
 
     Returns ``(buffers, duration)`` — buffers is None for writes.
+    ``into`` optionally supplies per-entry destination buffers for MRAM
+    reads (pooled zero-copy path); ignored for writes and WRAM symbols.
     """
     if matrix.target is Target.MRAM:
         if matrix.kind is XferKind.TO_DPU:
@@ -81,7 +84,8 @@ def apply_matrix_to_rank(rank: Rank, matrix: TransferMatrix,
             return None, duration
         specs = [ReadSpec(e.dpu_index, matrix.offset, e.size)
                  for e in matrix.entries]
-        return rank.read_mram(specs, rust_interleave=rust_interleave)
+        return rank.read_mram(specs, rust_interleave=rust_interleave,
+                              into=into)
 
     # WRAM host-variable transfer: small per-DPU CI-side copies.
     duration = 0.0
@@ -144,9 +148,11 @@ class PerfModeMapping:
         return duration
 
     def read(self, matrix: TransferMatrix, rust_interleave: bool = False,
+             into: Optional[List[np.ndarray]] = None,
              ) -> Tuple[List[np.ndarray], float]:
         self._check()
-        buffers, duration = apply_matrix_to_rank(self.rank, matrix, rust_interleave)
+        buffers, duration = apply_matrix_to_rank(self.rank, matrix,
+                                                 rust_interleave, into=into)
         assert buffers is not None
         return buffers, duration
 

@@ -27,30 +27,65 @@ from repro.config import CHIPS_PER_RANK
 WORD_BYTES = CHIPS_PER_RANK
 
 
+def _as_flat_u8(data: np.ndarray, nr_chips: int, op: str) -> np.ndarray:
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if flat.size % nr_chips != 0:
+        raise ValueError(
+            f"{op} requires a multiple of {nr_chips} bytes, "
+            f"got {flat.size}"
+        )
+    return flat
+
+
+def _check_out(out: np.ndarray, size: int, op: str) -> np.ndarray:
+    if out.dtype != np.uint8 or out.ndim != 1 or not out.flags.c_contiguous:
+        raise ValueError(f"{op}: out must be a contiguous 1-D uint8 array")
+    if out.size != size:
+        raise ValueError(f"{op}: out has {out.size} bytes, need {size}")
+    return out
+
+
+def interleave_into(data: np.ndarray, out: np.ndarray,
+                    nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
+    """:func:`interleave` writing into a caller-provided buffer.
+
+    Single strided pass: the transposed source view is assigned directly
+    into ``out``, so no intermediate array is ever materialized.  ``out``
+    must not alias ``data``.
+    """
+    flat = _as_flat_u8(data, nr_chips, "interleave")
+    _check_out(out, flat.size, "interleave")
+    out.reshape(nr_chips, -1)[...] = flat.reshape(-1, nr_chips).T
+    return out
+
+
+def deinterleave_into(data: np.ndarray, out: np.ndarray,
+                      nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
+    """:func:`deinterleave` writing into a caller-provided buffer."""
+    flat = _as_flat_u8(data, nr_chips, "deinterleave")
+    _check_out(out, flat.size, "deinterleave")
+    out.reshape(-1, nr_chips)[...] = flat.reshape(nr_chips, -1).T
+    return out
+
+
 def interleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
     """Shuffle ``data`` from host linear order to chip-major order.
 
     ``data`` length must be a multiple of ``nr_chips``.  Returns a new
     array laid out as ``nr_chips`` contiguous per-chip streams.
     """
-    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
-    if flat.size % nr_chips != 0:
-        raise ValueError(
-            f"interleave requires a multiple of {nr_chips} bytes, "
-            f"got {flat.size}"
-        )
-    return flat.reshape(-1, nr_chips).T.reshape(-1).copy()
+    flat = _as_flat_u8(data, nr_chips, "interleave")
+    out = np.empty(flat.size, dtype=np.uint8)
+    out.reshape(nr_chips, -1)[...] = flat.reshape(-1, nr_chips).T
+    return out
 
 
 def deinterleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
     """Inverse of :func:`interleave`."""
-    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
-    if flat.size % nr_chips != 0:
-        raise ValueError(
-            f"deinterleave requires a multiple of {nr_chips} bytes, "
-            f"got {flat.size}"
-        )
-    return flat.reshape(nr_chips, -1).T.reshape(-1).copy()
+    flat = _as_flat_u8(data, nr_chips, "deinterleave")
+    out = np.empty(flat.size, dtype=np.uint8)
+    out.reshape(-1, nr_chips)[...] = flat.reshape(nr_chips, -1).T
+    return out
 
 
 def roundtrip_identity(data: np.ndarray) -> bool:

@@ -4,6 +4,14 @@ A full testbed exposes 480 DPUs x 64 MB of MRAM = 30 GB, which we cannot
 (and need not) allocate eagerly.  :class:`MemoryRegion` materializes fixed
 size segments on first write; reads of untouched areas return zeros, which
 matches DRAM content after the manager's reset-to-zero policy (Section 3.5).
+
+Segments are the *accounting* granularity (checkpoints, memory usage, the
+reset policy all count 64 KB segments), but the *backing store* is coarser:
+segments live inside pooled 16 MB extents, so a bulk transfer crossing many
+segments is one slice copy per extent instead of one Python-level copy per
+64 KB.  A per-extent presence mask records which segments have been
+written; unwritten segments read as zero even though their extent bytes
+may hold recycled garbage.
 """
 
 from __future__ import annotations
@@ -19,10 +27,61 @@ BytesLike = Union[bytes, bytearray, memoryview, np.ndarray]
 #: Materialization granularity.  64 KB balances dict overhead against waste.
 SEGMENT_SIZE = 64 * 1024
 
+#: Backing-store granularity: segments per pooled extent (16 MB).
+EXTENT_SEGMENTS = 256
+EXTENT_BYTES = EXTENT_SEGMENTS * SEGMENT_SIZE
+
+
+class _ExtentPool:
+    """Process-wide recycler for extent backing arrays.
+
+    A freshly allocated numpy array pays a minor page fault per 4 KB on
+    first touch, and the C allocator does not reliably keep large chunks
+    warm between runs — bulk transfers into new regions then run several
+    times slower than memcpy.  Recycling keeps extent pages resident.
+    Recycled extents are handed out *dirty*: the presence mask guarantees
+    stale bytes are never visible (a segment only reads from its extent
+    after it has been written, and partial writes zero the uncovered
+    remainder of a newly present segment).
+    """
+
+    def __init__(self, max_bytes: int = 6 << 30) -> None:
+        self.max_bytes = max_bytes
+        self._free: Dict[int, list] = {}
+        self._held = 0
+
+    def acquire(self, nbytes: int) -> np.ndarray:
+        lst = self._free.get(nbytes)
+        if lst:
+            self._held -= nbytes
+            return lst.pop()
+        return np.empty(nbytes, dtype=np.uint8)
+
+    def release_all(self, extents: Dict[int, np.ndarray]) -> None:
+        """Take every extent of ``extents`` into the free list (up to the
+        byte cap) and clear the dict.  Only called on backing arrays the
+        region owns — nothing else ever holds a reference to them."""
+        for ext in extents.values():
+            if self._held + ext.size <= self.max_bytes:
+                self._free.setdefault(ext.size, []).append(ext)
+                self._held += ext.size
+        extents.clear()
+
+
+#: Shared across all regions of the process (the simulator is
+#: single-threaded); bounded at ``max_bytes`` of resident backing store.
+#: The cap is sized to hold the working set of a full 64-DPU rank session
+#: (~4 GB of concurrently live MRAM + guest memory) so back-to-back
+#: sessions never re-fault their transfer arenas.
+EXTENT_POOL = _ExtentPool()
+
 
 def _as_u8(data: BytesLike) -> np.ndarray:
     """View ``data`` as a contiguous uint8 numpy array without copying."""
     if isinstance(data, np.ndarray):
+        if (data.dtype == np.uint8 and data.ndim == 1
+                and data.flags.c_contiguous):
+            return data
         return np.ascontiguousarray(data).view(np.uint8).reshape(-1)
     return np.frombuffer(bytes(data) if isinstance(data, memoryview) else data,
                          dtype=np.uint8)
@@ -41,7 +100,14 @@ class MemoryRegion:
             raise ValueError(f"memory size must be positive, got {size}")
         self.size = size
         self.name = name
-        self._segments: Dict[int, np.ndarray] = {}
+        # Small regions (WRAM, IRAM) get right-sized extents; large ones
+        # use the shared 16 MB pool class.
+        nr_segments = -(-size // SEGMENT_SIZE)
+        self._extent_segs = min(EXTENT_SEGMENTS, nr_segments)
+        self._extent_bytes = self._extent_segs * SEGMENT_SIZE
+        self._extents: Dict[int, np.ndarray] = {}
+        self._masks: Dict[int, np.ndarray] = {}
+        self._nr_present = 0
 
     # -- bounds -----------------------------------------------------------
 
@@ -57,30 +123,102 @@ class MemoryRegion:
     def read(self, offset: int, length: int) -> np.ndarray:
         """Return ``length`` bytes starting at ``offset`` as a uint8 array."""
         self._check(offset, length)
-        out = np.zeros(length, dtype=np.uint8)
+        ext_idx, ext_off = divmod(offset, self._extent_bytes)
+        seg = ext_off // SEGMENT_SIZE
+        if ext_off + length <= (seg + 1) * SEGMENT_SIZE:
+            # Fast path: the access stays inside one segment (every DMA
+            # block and metadata descriptor lands here).
+            ext = self._extents.get(ext_idx)
+            if ext is None or not self._masks[ext_idx][seg]:
+                return np.zeros(length, dtype=np.uint8)
+            return ext[ext_off:ext_off + length].copy()
+        out = np.empty(length, dtype=np.uint8)
+        self._fill_from_segments(offset, out)
+        return out
+
+    def read_into(self, offset: int, out: np.ndarray) -> np.ndarray:
+        """Fill ``out`` (1-D uint8) from the region — no allocation.
+
+        The scatter-gather data plane reads through here with pooled
+        buffers, so bulk transfers stop paying one fresh allocation (and
+        one zero-fill) per hop.
+        """
+        self._check(offset, out.size)
+        self._fill_from_segments(offset, out)
+        return out
+
+    def _fill_from_segments(self, offset: int, out: np.ndarray) -> None:
+        length = out.size
+        extent_bytes = self._extent_bytes
         pos = 0
         while pos < length:
-            seg_idx, seg_off = divmod(offset + pos, SEGMENT_SIZE)
-            chunk = min(length - pos, SEGMENT_SIZE - seg_off)
-            seg = self._segments.get(seg_idx)
-            if seg is not None:
-                out[pos:pos + chunk] = seg[seg_off:seg_off + chunk]
+            ext_idx, ext_off = divmod(offset + pos, extent_bytes)
+            chunk = min(length - pos, extent_bytes - ext_off)
+            ext = self._extents.get(ext_idx)
+            if ext is None:
+                out[pos:pos + chunk] = 0
+                pos += chunk
+                continue
+            mask = self._masks[ext_idx]
+            s0 = ext_off // SEGMENT_SIZE
+            s1 = (ext_off + chunk - 1) // SEGMENT_SIZE
+            span = mask[s0:s1 + 1]
+            if span.all():
+                # Fully materialized span: one slice copy for the whole
+                # extent's share (the bulk-transfer hot path).
+                out[pos:pos + chunk] = ext[ext_off:ext_off + chunk]
+            elif not span.any():
+                out[pos:pos + chunk] = 0
+            else:
+                end = ext_off + chunk
+                p, o = pos, ext_off
+                while o < end:
+                    seg = o // SEGMENT_SIZE
+                    piece = min(end - o, (seg + 1) * SEGMENT_SIZE - o)
+                    if mask[seg]:
+                        out[p:p + piece] = ext[o:o + piece]
+                    else:
+                        out[p:p + piece] = 0
+                    p += piece
+                    o += piece
             pos += chunk
-        return out
 
     def write(self, offset: int, data: BytesLike) -> None:
         """Write ``data`` starting at ``offset``."""
         buf = _as_u8(data)
         self._check(offset, buf.size)
+        if buf.size == 0:
+            return
+        extent_bytes = self._extent_bytes
         pos = 0
         while pos < buf.size:
-            seg_idx, seg_off = divmod(offset + pos, SEGMENT_SIZE)
-            chunk = min(buf.size - pos, SEGMENT_SIZE - seg_off)
-            seg = self._segments.get(seg_idx)
-            if seg is None:
-                seg = np.zeros(SEGMENT_SIZE, dtype=np.uint8)
-                self._segments[seg_idx] = seg
-            seg[seg_off:seg_off + chunk] = buf[pos:pos + chunk]
+            ext_idx, ext_off = divmod(offset + pos, extent_bytes)
+            chunk = min(buf.size - pos, extent_bytes - ext_off)
+            ext = self._extents.get(ext_idx)
+            if ext is None:
+                ext = EXTENT_POOL.acquire(extent_bytes)
+                self._extents[ext_idx] = ext
+                mask = np.zeros(self._extent_segs, dtype=bool)
+                self._masks[ext_idx] = mask
+            else:
+                mask = self._masks[ext_idx]
+            s0 = ext_off // SEGMENT_SIZE
+            end = ext_off + chunk
+            s1 = (end - 1) // SEGMENT_SIZE
+            # A recycled extent holds stale bytes: when a *partial* write
+            # first materializes an edge segment, zero the uncovered part
+            # so the untouched remainder still reads back as zero.
+            head = ext_off - s0 * SEGMENT_SIZE
+            if head and not mask[s0]:
+                ext[s0 * SEGMENT_SIZE:ext_off] = 0
+            tail_end = (s1 + 1) * SEGMENT_SIZE
+            if end != tail_end and not mask[s1]:
+                ext[end:tail_end] = 0
+            ext[ext_off:end] = buf[pos:pos + chunk]
+            newly = (s1 - s0 + 1) - int(np.count_nonzero(mask[s0:s1 + 1]))
+            if newly:
+                self._nr_present += newly
+                mask[s0:s1 + 1] = True
             pos += chunk
 
     def fill(self, value: int = 0) -> None:
@@ -91,10 +229,10 @@ class MemoryRegion:
         implemented cheaply.
         """
         if value == 0:
-            self._segments.clear()
+            EXTENT_POOL.release_all(self._extents)
+            self._masks.clear()
+            self._nr_present = 0
         else:
-            for seg in self._segments.values():
-                seg[:] = value
             # Non-zero fill of unmaterialized space must materialize it; we
             # forbid it for huge regions since nothing in the stack needs it.
             if self.size > 1 << 30:
@@ -102,32 +240,63 @@ class MemoryRegion:
                     f"{self.name}: non-zero fill of a {self.size}-byte region "
                     "is not supported"
                 )
-            full = np.full(self.size, value, dtype=np.uint8)
-            self._segments.clear()
-            self.write(0, full)
+            self.write(0, np.full(self.size, value, dtype=np.uint8))
 
     # -- snapshots (checkpoint/restore support) -----------------------------
 
     def snapshot_segments(self) -> Dict[int, np.ndarray]:
         """Copy of the materialized segments (sparse checkpoint)."""
-        return {idx: seg.copy() for idx, seg in self._segments.items()}
+        out: Dict[int, np.ndarray] = {}
+        for ext_idx in sorted(self._extents):
+            ext = self._extents[ext_idx]
+            mask = self._masks[ext_idx]
+            base = ext_idx * self._extent_segs
+            for seg in np.nonzero(mask)[0]:
+                start = int(seg) * SEGMENT_SIZE
+                out[base + int(seg)] = ext[start:start + SEGMENT_SIZE].copy()
+        return out
 
     def load_segments(self, segments: Dict[int, np.ndarray]) -> None:
         """Replace contents with a snapshot from :meth:`snapshot_segments`."""
-        for idx in segments:
+        for idx, src in segments.items():
             if idx < 0 or idx * SEGMENT_SIZE >= self.size:
                 raise MemoryAccessError(
                     f"{self.name}: snapshot segment {idx} outside region"
                 )
-        self._segments = {idx: seg.copy() for idx, seg in segments.items()}
+            if _as_u8(src).size > SEGMENT_SIZE:
+                raise MemoryAccessError(
+                    f"{self.name}: snapshot segment {idx} larger than "
+                    f"{SEGMENT_SIZE} bytes"
+                )
+        # All inputs validated; the writes below cannot fail, so the
+        # replacement is effectively atomic.
+        self.fill(0)
+        for idx, src in segments.items():
+            self.write(idx * SEGMENT_SIZE, src)
+
+    def __del__(self) -> None:
+        # Recycle backing arrays when the region is collected (a fresh
+        # VPim per run would otherwise re-fault every page).  Guarded:
+        # module globals may be gone at interpreter shutdown.
+        try:
+            EXTENT_POOL.release_all(self._extents)
+        except Exception:  # pragma: no cover - shutdown races
+            pass
 
     # -- introspection ----------------------------------------------------
 
     @property
     def materialized_bytes(self) -> int:
         """Bytes of backing store actually allocated (for memory accounting)."""
-        return len(self._segments) * SEGMENT_SIZE
+        return self._nr_present * SEGMENT_SIZE
 
     def is_zero(self) -> bool:
         """True if every byte reads back as zero (used by isolation tests)."""
-        return all(not seg.any() for seg in self._segments.values())
+        for ext_idx, ext in self._extents.items():
+            mask = self._masks[ext_idx]
+            if not mask.any():
+                continue
+            rows = ext.reshape(self._extent_segs, SEGMENT_SIZE)
+            if rows[mask].any():
+                return False
+        return True

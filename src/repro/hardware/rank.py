@@ -236,7 +236,10 @@ class Rank:
         self._guard("write")
         total = 0
         for spec in specs:
-            buf = np.ascontiguousarray(spec.data).view(np.uint8).reshape(-1)
+            buf = spec.data
+            if not (isinstance(buf, np.ndarray) and buf.dtype == np.uint8
+                    and buf.ndim == 1 and buf.flags.c_contiguous):
+                buf = np.ascontiguousarray(buf).view(np.uint8).reshape(-1)
             if buf.size > MAX_XFER_BYTES:
                 raise TransferError(
                     f"transfer of {buf.size} bytes exceeds the 4 GB rank limit"
@@ -257,18 +260,42 @@ class Rank:
         return duration
 
     def read_mram(self, specs: Sequence[ReadSpec],
-                  rust_interleave: bool = False) -> Tuple[List[np.ndarray], float]:
-        """Read-from-rank: returns per-spec buffers and the duration."""
+                  rust_interleave: bool = False,
+                  into: Optional[List[np.ndarray]] = None,
+                  ) -> Tuple[List[np.ndarray], float]:
+        """Read-from-rank: returns per-spec buffers and the duration.
+
+        ``into`` (optional) supplies one pre-sized uint8 buffer per spec;
+        the reads then go through :meth:`MemoryRegion.read_into` with no
+        allocation, which is how the backend runs pooled (zero-copy)
+        reads.  The returned list is ``into`` itself in that case.
+        """
         self._guard("read")
+        if into is not None and len(into) != len(specs):
+            raise TransferError(
+                f"into has {len(into)} buffers for {len(specs)} read specs"
+            )
         out: List[np.ndarray] = []
         total = 0
-        for spec in specs:
+        for i, spec in enumerate(specs):
             if spec.length > MAX_XFER_BYTES:
                 raise TransferError(
                     f"transfer of {spec.length} bytes exceeds the 4 GB rank limit"
                 )
-            out.append(self.dpu(spec.dpu_index).mram.read(spec.offset, spec.length))
+            mram = self.dpu(spec.dpu_index).mram
+            if into is None:
+                out.append(mram.read(spec.offset, spec.length))
+            else:
+                buf = into[i]
+                if buf.size != spec.length:
+                    raise TransferError(
+                        f"into[{i}] holds {buf.size} bytes, spec reads "
+                        f"{spec.length}"
+                    )
+                mram.read_into(spec.offset, buf)
             total += spec.length
+        if into is not None:
+            out = list(into)
         self.read_ops += 1
         self.bytes_read += total
         duration = (self._transfer_duration(total, len(specs), rust_interleave)

@@ -104,6 +104,18 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_backend_batch_replay_records_total", "counter",
         "Buffered small writes replayed as individual rank operations",
         ("vm", "device"), paper="§4.1 (batching merges messages, not ops)"),
+    MetricSpec(
+        "repro_xlb_hits_total", "counter",
+        "GPA->HVA page runs served by the backend translation cache",
+        ("vm", "device"), paper="§4.2 (translation threads; wall-clock XLB)"),
+    MetricSpec(
+        "repro_xlb_misses_total", "counter",
+        "GPA->HVA page runs that required full bounds-checked translation",
+        ("vm", "device"), paper="§4.2 (translation threads; wall-clock XLB)"),
+    MetricSpec(
+        "repro_bufpool_reuse_total", "counter",
+        "Data-plane buffer acquisitions served from the reuse pool",
+        ("vm", "device"), paper="§5.4.1 (host-side copy plumbing cost)"),
 
     # -- manager: host-wide rank arbitration --------------------------------
     MetricSpec(

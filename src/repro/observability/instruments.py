@@ -9,6 +9,8 @@ catalog, so a binding cannot emit an undocumented metric.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.observability.catalog import instrument
 from repro.observability.metrics import MetricsRegistry
 
@@ -39,13 +41,25 @@ class RankInstruments:
         self._dpu_faults = instrument(
             registry, "repro_dpu_faults_total").labels(rank=rank)
         self._rank = rank
+        # Cache of per-direction bound children, filled on first use so
+        # untouched ranks export no zero-valued series; keeps label
+        # resolution off the per-transfer hot path.
+        self._xfer_bound = {}
 
     def xfer(self, direction: str, nbytes: int, duration: float) -> None:
-        self._xfer_ops.labels(rank=self._rank, direction=direction).inc()
-        self._xfer_bytes.labels(rank=self._rank, direction=direction
-                                ).inc(nbytes)
-        self._xfer_seconds.labels(rank=self._rank, direction=direction
-                                  ).observe(duration)
+        bound = self._xfer_bound.get(direction)
+        if bound is None:
+            bound = (
+                self._xfer_ops.labels(rank=self._rank, direction=direction),
+                self._xfer_bytes.labels(rank=self._rank, direction=direction),
+                self._xfer_seconds.labels(rank=self._rank,
+                                          direction=direction),
+            )
+            self._xfer_bound[direction] = bound
+        ops, nbytes_c, seconds = bound
+        ops.inc()
+        nbytes_c.inc(nbytes)
+        seconds.observe(duration)
 
     def launch(self, nr_dpus: int, duration: float) -> None:
         self._launches.inc()
@@ -132,6 +146,12 @@ class BackendInstruments:
             registry, "repro_backend_interleave_seconds").labels(**ids)
         self._replays = instrument(
             registry, "repro_backend_batch_replay_records_total").labels(**ids)
+        self._xlb_hits = instrument(
+            registry, "repro_xlb_hits_total").labels(**ids)
+        self._xlb_misses = instrument(
+            registry, "repro_xlb_misses_total").labels(**ids)
+        self._bufpool_reuse = instrument(
+            registry, "repro_bufpool_reuse_total").labels(**ids)
         self._ids = ids
 
     def request(self, kind: str, rank: str, duration: float) -> None:
@@ -147,6 +167,18 @@ class BackendInstruments:
 
     def batch_replay(self, records: int) -> None:
         self._replays.inc(records)
+
+    def xlb(self, hits: int, misses: int) -> None:
+        """Translation-cache outcomes for one request's page runs."""
+        if hits:
+            self._xlb_hits.inc(hits)
+        if misses:
+            self._xlb_misses.inc(misses)
+
+    def bufpool_reuse(self, count: int) -> None:
+        """Pool-served buffer acquisitions during one request."""
+        if count:
+            self._bufpool_reuse.inc(count)
 
 
 class ManagerInstruments:
@@ -354,9 +386,15 @@ class SpanInstruments:
         self._started = instrument(registry, "repro_span_started_total")
         self._dropped = instrument(registry, "repro_span_dropped_total")
         self._traces = instrument(registry, "repro_span_traces_total")
+        self._started_by_layer: Dict[str, object] = {}
 
     def started(self, layer: str, count: int = 1) -> None:
-        self._started.labels(layer=layer).inc(count)
+        # Bound per layer on first use: this runs once per span started.
+        child = self._started_by_layer.get(layer)
+        if child is None:
+            child = self._started.labels(layer=layer)
+            self._started_by_layer[layer] = child
+        child.inc(count)
 
     def dropped(self, reason: str, count: int = 1) -> None:
         self._dropped.labels(reason=reason).inc(count)

@@ -48,7 +48,7 @@ LAYERS = ("session", "sdk", "frontend", "virtio", "backend", "rank",
 RANK_TID_BASE = 100
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanContext:
     """Identity of one span: which trace it belongs to and its parent.
 
@@ -62,7 +62,7 @@ class SpanContext:
     parent_id: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed unit of work on the simulated timeline.
 
@@ -264,7 +264,7 @@ class SpanRecorder:
                                 sampled=self._sample_next(),
                                 faulted=bool((pin or {}).get("faulted")))
             span = Span(context=context, name=name, layer=layer, start=start,
-                        attributes=dict(attributes), depth=0, cursor=start)
+                        attributes=attributes, depth=0, cursor=start)
             if pin and pin.get("retry_of") is not None:
                 span.link("retry_of", pin["retry_of"])  # type: ignore[arg-type]
             self._trace.root = span
@@ -272,7 +272,7 @@ class SpanRecorder:
             self._stack.append(span)
             return span
         span = Span(context=context, name=name, layer=layer, start=start,
-                    attributes=dict(attributes), depth=len(self._stack),
+                    attributes=attributes, depth=len(self._stack),
                     cursor=start)
         self._buffer(span)
         self._stack.append(span)
@@ -296,7 +296,7 @@ class SpanRecorder:
                                         parent_id=parent.span_id),
                     name=name, layer=layer, start=start,
                     end=start + duration, duration=duration,
-                    attributes=dict(attributes), depth=len(self._stack),
+                    attributes=attributes, depth=len(self._stack),
                     cursor=start + duration)
         parent.cursor = max(parent.cursor, span.end)
         self._buffer(span)

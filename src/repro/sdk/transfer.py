@@ -44,7 +44,10 @@ class DpuEntry:
         if self.size < 0 or self.size > MAX_XFER_BYTES:
             raise TransferError(f"entry size {self.size} outside 0..4 GB")
         if self.data is not None:
-            buf = np.ascontiguousarray(self.data).view(np.uint8).reshape(-1)
+            buf = self.data
+            if not (isinstance(buf, np.ndarray) and buf.dtype == np.uint8
+                    and buf.ndim == 1 and buf.flags.c_contiguous):
+                buf = np.ascontiguousarray(buf).view(np.uint8).reshape(-1)
             if buf.size != self.size:
                 raise TransferError(
                     f"entry data is {buf.size} bytes but size says {self.size}"
@@ -118,7 +121,11 @@ def uniform_write(symbol: str, offset: int, buffers: List[np.ndarray]) -> Transf
     """Build a TO_DPU matrix assigning ``buffers[i]`` to set-DPU ``i``."""
     entries = []
     for i, buf in enumerate(buffers):
-        u8 = np.ascontiguousarray(buf).view(np.uint8).reshape(-1)
+        if (isinstance(buf, np.ndarray) and buf.dtype == np.uint8
+                and buf.ndim == 1 and buf.flags.c_contiguous):
+            u8 = buf
+        else:
+            u8 = np.ascontiguousarray(buf).view(np.uint8).reshape(-1)
         entries.append(DpuEntry(dpu_index=i, size=u8.size, data=u8))
     matrix = TransferMatrix(XferKind.TO_DPU, symbol, offset, entries)
     matrix.validate()

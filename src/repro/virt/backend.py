@@ -16,14 +16,16 @@ config — the Fig. 11 ablation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import BACKEND_WORKER_THREADS, TRANSLATION_THREADS
 from repro.errors import DeviceNotLinkedError, SerializationError
 from repro.driver.driver import PerfModeMapping, UpmemDriver
+from repro.hardware.bufpool import BufferPool
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
@@ -31,7 +33,7 @@ from repro.observability.instruments import BackendInstruments
 from repro.observability.spans import SpanRecorder
 from repro.sdk.kernel import DpuProgram
 from repro.sdk.transfer import DpuEntry, TransferMatrix, XferKind
-from repro.virt.guest_memory import GuestMemory
+from repro.virt.guest_memory import HVA_BASE, GuestMemory
 from repro.virt.serialization import (
     RequestHeader,
     RequestKind,
@@ -60,6 +62,48 @@ class BackendResult:
     duration: float
     steps: Dict[str, float] = field(default_factory=dict)
     payload: Optional[object] = None
+
+
+class TranslationCache:
+    """TLB-style cache over GPA→HVA page-run translation (the XLB).
+
+    The guest driver recycles its DMA arena, so the *same* page runs come
+    back request after request (§4.2's translation threads re-resolve
+    them every time).  A run is keyed by ``(first GPA, last GPA, page
+    count)`` — the identity of an arithmetic page sequence produced by
+    the frontend serializer — and a hit skips the vectorized bounds
+    validation that a miss performs via
+    :meth:`GuestMemory.translate_pages`.  LRU-bounded; purely a
+    wall-clock optimization, the GPA+offset arithmetic is unchanged.
+    """
+
+    def __init__(self, memory: GuestMemory, capacity: int = 512) -> None:
+        self.memory = memory
+        self.capacity = capacity
+        self._runs: "OrderedDict[Tuple[int, int, int], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, page_gpas: np.ndarray) -> np.ndarray:
+        """GPA→HVA for one entry's page buffer; validates on miss only."""
+        arr = np.asarray(page_gpas, dtype=np.uint64)
+        if arr.size == 0:
+            return arr + np.uint64(HVA_BASE)
+        key = (int(arr[0]), int(arr[-1]), arr.size)
+        runs = self._runs
+        if key in runs:
+            runs.move_to_end(key)
+            self.hits += 1
+            return arr + np.uint64(HVA_BASE)
+        self.misses += 1
+        hvas = self.memory.translate_pages(arr)  # bounds-checked
+        runs[key] = True
+        if len(runs) > self.capacity:
+            runs.popitem(last=False)
+        return hvas
+
+    def invalidate(self) -> None:
+        self._runs.clear()
 
 
 class VUpmemBackend:
@@ -91,6 +135,11 @@ class VUpmemBackend:
         #: labeled by the currently bound rank).
         self.obs = BackendInstruments(metrics or MetricsRegistry(),
                                       device_id)
+        #: TLB-style GPA→HVA run cache (hits skip bounds re-validation).
+        self.xlb = TranslationCache(guest_memory)
+        #: Scratch-buffer pool backing gathers and pooled rank reads;
+        #: per-backend so chaos drills can assert loan stability.
+        self.pool = BufferPool()
         #: Trace context; shares the machine recorder when built by
         #: :class:`~repro.virt.firecracker.Firecracker`, making each
         #: backend span a child of the frontend request that caused it.
@@ -199,8 +248,11 @@ class VUpmemBackend:
         translate_time = (self.cost.translate_fixed
                           + total_pages * self.cost.translate_per_page
                           / effective_threads)
+        xlb = self.xlb
+        hits0, misses0 = xlb.hits, xlb.misses
         for entry in entries:
-            self.memory.translate_pages(entry.page_gpas)  # bounds-checked
+            xlb.translate(entry.page_gpas)  # bounds-checked on XLB miss
+        self.obs.xlb(xlb.hits - hits0, xlb.misses - misses0)
         self.obs.translation(total_pages, translate_time)
         self.spans.event("backend.deserialize", "backend", deser_time,
                          pages=total_pages)
@@ -210,23 +262,41 @@ class VUpmemBackend:
         dispatch_time = self.cost.backend_dispatch
         self.spans.event("backend.dispatch", "backend", dispatch_time)
 
+        pool = self.pool
+        reuse0 = pool.reuse_count
+
         if kind is RequestKind.WRITE_RANK:
             if batch_records is not None:
                 tdata = self._replay_batch(mapping, header, batch_records)
             else:
-                matrix = self._rebuild_matrix(header, entries, XferKind.TO_DPU)
-                tdata = mapping.write(matrix, rust_interleave=self.rust_data_path)
+                matrix, loaned = self._rebuild_matrix(
+                    header, entries, XferKind.TO_DPU)
+                try:
+                    tdata = mapping.write(
+                        matrix, rust_interleave=self.rust_data_path)
+                finally:
+                    # Runs on injected transport faults too: pooled
+                    # buffers must never leak out of an aborted request.
+                    for buf in loaned:
+                        pool.release(buf)
+            self.obs.bufpool_reuse(pool.reuse_count - reuse0)
             self.obs.interleave(tdata)
             steps = {"Deser": deser_time + translate_time, "T-data": tdata}
             duration = deser_time + translate_time + dispatch_time + tdata
             return BackendResult(duration=duration, steps=steps)
 
         if kind is RequestKind.READ_RANK:
-            matrix = self._rebuild_matrix(header, entries, XferKind.FROM_DPU)
-            buffers, tdata = mapping.read(
-                matrix, rust_interleave=self.rust_data_path)
-            for entry, buf in zip(entries, buffers):
-                scatter_entry_data(entry, buf, self.memory)
+            matrix, _ = self._rebuild_matrix(header, entries, XferKind.FROM_DPU)
+            loaned = [pool.acquire(e.size) for e in entries]
+            try:
+                buffers, tdata = mapping.read(
+                    matrix, rust_interleave=self.rust_data_path, into=loaned)
+                for entry, buf in zip(entries, buffers):
+                    scatter_entry_data(entry, buf, self.memory)
+            finally:
+                for buf in loaned:
+                    pool.release(buf)
+            self.obs.bufpool_reuse(pool.reuse_count - reuse0)
             self.obs.interleave(tdata)
             steps = {"Deser": deser_time + translate_time, "T-data": tdata}
             duration = deser_time + translate_time + dispatch_time + tdata
@@ -239,16 +309,35 @@ class VUpmemBackend:
 
     def _rebuild_matrix(self, header: RequestHeader,
                         entries: List[SerializedEntry],
-                        kind: XferKind) -> TransferMatrix:
+                        kind: XferKind,
+                        ) -> Tuple[TransferMatrix, List[np.ndarray]]:
+        """Rebuild the transfer matrix, gathering write payloads into
+        pooled scratch buffers.
+
+        Returns ``(matrix, loaned)`` — the caller must release every
+        buffer in ``loaned`` (in a ``finally``) once the rank operation
+        has consumed the payloads.
+        """
         dpu_entries = []
-        for entry in entries:
-            data = (gather_entry_data(entry, self.memory)
-                    if kind is XferKind.TO_DPU else None)
-            dpu_entries.append(DpuEntry(dpu_index=entry.dpu_index,
-                                        size=entry.size, data=data))
-        matrix = TransferMatrix(kind, header.symbol, header.offset, dpu_entries)
-        matrix.validate()
-        return matrix
+        loaned: List[np.ndarray] = []
+        pool = self.pool
+        try:
+            for entry in entries:
+                data = None
+                if kind is XferKind.TO_DPU:
+                    buf = pool.acquire(entry.size)
+                    loaned.append(buf)
+                    data = gather_entry_data(entry, self.memory, out=buf)
+                dpu_entries.append(DpuEntry(dpu_index=entry.dpu_index,
+                                            size=entry.size, data=data))
+            matrix = TransferMatrix(kind, header.symbol, header.offset,
+                                    dpu_entries)
+            matrix.validate()
+        except BaseException:
+            for buf in loaned:
+                pool.release(buf)
+            raise
+        return matrix, loaned
 
     def _replay_batch(self, mapping: PerfModeMapping, header: RequestHeader,
                       records: List[BatchRecord]) -> float:

@@ -61,6 +61,40 @@ class GuestMemory:
     def read(self, gpa: int, length: int) -> np.ndarray:
         return self.region.read(gpa, length)
 
+    def read_into(self, gpa: int, out: np.ndarray) -> np.ndarray:
+        """Allocation-free read into a caller-provided uint8 buffer."""
+        return self.region.read_into(gpa, out)
+
+    def gather_pages(self, gpas: np.ndarray, nbytes: int,
+                     out: np.ndarray) -> np.ndarray:
+        """Gather ``nbytes`` spread over the pages in ``gpas`` into ``out``.
+
+        One bulk :meth:`MemoryRegion.read_into` per contiguous page run
+        instead of a per-page Python loop — the simulator-level analogue
+        of the batched scatter-gather the real backend performs on the
+        translated HVA list (Section 4.2).  The tail page may be partial
+        (``nbytes`` need not be page-aligned).
+        """
+        pos = 0
+        for start_gpa, nr_pages in self.contiguous_runs(gpas):
+            if pos >= nbytes:
+                break
+            span = min(nr_pages * PAGE_SIZE, nbytes - pos)
+            self.region.read_into(start_gpa, out[pos:pos + span])
+            pos += span
+        return out
+
+    def scatter_pages(self, gpas: np.ndarray, data: np.ndarray) -> None:
+        """Inverse of :meth:`gather_pages`: spread ``data`` over the pages."""
+        pos = 0
+        nbytes = data.size
+        for start_gpa, nr_pages in self.contiguous_runs(gpas):
+            if pos >= nbytes:
+                break
+            span = min(nr_pages * PAGE_SIZE, nbytes - pos)
+            self.region.write(start_gpa, data[pos:pos + span])
+            pos += span
+
     # -- translation ---------------------------------------------------------------
 
     def gpa_to_hva(self, gpa: int) -> int:
@@ -100,10 +134,13 @@ class GuestMemory:
         arr = np.asarray(gpas, dtype=np.uint64)
         if arr.size == 0:
             return []
+        if arr.size == 1:
+            return [(int(arr[0]), 1)]
         breaks = np.nonzero(np.diff(arr) != PAGE_SIZE)[0] + 1
-        runs = []
-        start = 0
-        for b in list(breaks) + [arr.size]:
-            runs.append((int(arr[start]), b - start))
-            start = b
-        return runs
+        if breaks.size == 0:
+            # Common case: the bump allocator hands out one contiguous run.
+            return [(int(arr[0]), arr.size)]
+        starts = np.concatenate(([0], breaks))
+        ends = np.concatenate((breaks, [arr.size]))
+        run_gpas = arr[starts]
+        return [(int(g), int(n)) for g, n in zip(run_gpas, ends - starts)]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -190,15 +190,25 @@ def deserialize_request(chain: List[Descriptor], memory: GuestMemory,
     return header, entries
 
 
-def gather_entry_data(entry: SerializedEntry, memory: GuestMemory) -> np.ndarray:
-    """Collect an entry's payload from guest pages (bulk per contiguous run)."""
-    out = np.empty(entry.page_gpas.size * PAGE_SIZE, dtype=np.uint8)
-    pos = 0
-    for start, nr in GuestMemory.contiguous_runs(entry.page_gpas):
-        span = nr * PAGE_SIZE
-        out[pos:pos + span] = memory.read(start, span)
-        pos += span
-    return out[:entry.size]
+def gather_entry_data(entry: SerializedEntry, memory: GuestMemory,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Collect an entry's payload from guest pages (bulk per contiguous run).
+
+    With ``out`` (a pooled scratch buffer of at least ``entry.size`` bytes)
+    the gather is allocation-free; the returned array is the filled
+    ``entry.size``-byte prefix of ``out``.  Only the payload bytes are
+    touched — the partial tail page is never read past ``entry.size``.
+    """
+    if out is None:
+        out = np.empty(entry.size, dtype=np.uint8)
+    elif out.size < entry.size:
+        raise SerializationError(
+            f"gather buffer of {out.size} bytes is smaller than entry "
+            f"size {entry.size}"
+        )
+    dst = out[:entry.size]
+    memory.gather_pages(entry.page_gpas, entry.size, dst)
+    return dst
 
 
 def scatter_entry_data(entry: SerializedEntry, data: np.ndarray,
@@ -209,13 +219,7 @@ def scatter_entry_data(entry: SerializedEntry, data: np.ndarray,
         raise SerializationError(
             f"result of {buf.size} bytes does not match entry size {entry.size}"
         )
-    pos = 0
-    for start, nr in GuestMemory.contiguous_runs(entry.page_gpas):
-        span = min(nr * PAGE_SIZE, buf.size - pos)
-        if span <= 0:
-            break
-        memory.write(start, buf[pos:pos + span])
-        pos += span
+    memory.scatter_pages(entry.page_gpas, buf)
 
 
 def xfer_kind_of(kind: RequestKind) -> XferKind:
