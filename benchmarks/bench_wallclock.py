@@ -129,7 +129,7 @@ def micro_serialize(quick: bool) -> Dict[str, float]:
 
     def roundtrip():
         sreq = serialize_matrix(header, matrix, memory)
-        _, entries = deserialize_request(sreq.chain, memory)
+        _, entries, _ = deserialize_request(sreq.chain, memory)
         for entry in entries:
             gather_entry_data(entry, memory)
 

@@ -82,9 +82,17 @@ class MultilayerPerceptron(HostApplication):
     domain = "Neural networks"
 
     def __init__(self, nr_dpus: int, layer_sizes: tuple = (512, 512, 512, 256),
-                 seed: int = 0) -> None:
-        super().__init__(nr_dpus, layer_sizes=layer_sizes, seed=seed)
+                 seed: int = 0, nr_reps: int = 1) -> None:
+        super().__init__(nr_dpus, layer_sizes=layer_sizes, seed=seed,
+                         nr_reps=nr_reps)
         self.layer_sizes = layer_sizes
+        #: PrIM-style repetition count: the original benchmarks re-run
+        #: each kernel several times and re-copy *all* inputs — weights
+        #: included — every rep.  ``nr_reps=1`` (the default) keeps the
+        #: historical single-pass operation stream; higher values
+        #: reproduce PrIM's measurement loop, whose re-pushed weights
+        #: are the redundancy the content-aware transfer cache targets.
+        self.nr_reps = nr_reps
         self.weights: List[np.ndarray] = [
             random_matrix(layer_sizes[i + 1], layer_sizes[i], lo=-4, hi=5,
                           seed=seed + i)
@@ -119,37 +127,42 @@ class MultilayerPerceptron(HostApplication):
 
         with DpuSet(transport, self.nr_dpus) as dpus:
             dpus.load(MlpProgram())
-            with profiler.segment("CPU-DPU"):
+            for _rep in range(self.nr_reps):
+                with profiler.segment("CPU-DPU"):
+                    for li, w in enumerate(self.weights):
+                        bounds = np.concatenate([[0],
+                                                 np.cumsum(partitions[li])])
+                        dpus.push_to_mram(w_offsets[li], [
+                            w[bounds[i]:bounds[i + 1]]
+                            for i in range(self.nr_dpus)
+                        ])
+                v = self.x
                 for li, w in enumerate(self.weights):
-                    bounds = np.concatenate([[0], np.cumsum(partitions[li])])
-                    dpus.push_to_mram(w_offsets[li], [
-                        w[bounds[i]:bounds[i + 1]]
-                        for i in range(self.nr_dpus)
-                    ])
-            v = self.x
-            for li, w in enumerate(self.weights):
-                counts = partitions[li]
-                bounds = np.concatenate([[0], np.cumsum(counts)])
-                with profiler.segment("Inter-DPU"):
-                    dpus.push_to("n_rows", 0,
-                                 [np.array([c], np.uint32) for c in counts])
-                    dpus.broadcast_to("n_cols", 0,
-                                      np.array([w.shape[1]], np.uint32))
-                    dpus.broadcast_to("w_offset", 0,
-                                      np.array([w_offsets[li]], np.uint32))
-                    dpus.broadcast_to("x_offset", 0,
-                                      np.array([x_off], np.uint32))
-                    dpus.broadcast_to("y_offset", 0,
-                                      np.array([y_off], np.uint32))
-                    dpus.push_to_mram(x_off, [v.astype(np.int32)] * self.nr_dpus)
-                with profiler.segment("DPU"):
-                    dpus.launch()
-                with profiler.segment("Inter-DPU" if li < len(self.weights) - 1
-                                      else "DPU-CPU"):
-                    nxt = np.empty(w.shape[0], dtype=np.int32)
-                    bufs = dpus.push_from_mram(y_off, max(counts) * 4)
-                    for i, buf in enumerate(bufs):
-                        nxt[bounds[i]:bounds[i + 1]] = (
-                            buf[:counts[i] * 4].view(np.int32))
-                    v = nxt
+                    counts = partitions[li]
+                    bounds = np.concatenate([[0], np.cumsum(counts)])
+                    with profiler.segment("Inter-DPU"):
+                        dpus.push_to("n_rows", 0,
+                                     [np.array([c], np.uint32)
+                                      for c in counts])
+                        dpus.broadcast_to("n_cols", 0,
+                                          np.array([w.shape[1]], np.uint32))
+                        dpus.broadcast_to("w_offset", 0,
+                                          np.array([w_offsets[li]], np.uint32))
+                        dpus.broadcast_to("x_offset", 0,
+                                          np.array([x_off], np.uint32))
+                        dpus.broadcast_to("y_offset", 0,
+                                          np.array([y_off], np.uint32))
+                        dpus.push_to_mram(x_off,
+                                          [v.astype(np.int32)] * self.nr_dpus)
+                    with profiler.segment("DPU"):
+                        dpus.launch()
+                    with profiler.segment(
+                            "Inter-DPU" if li < len(self.weights) - 1
+                            else "DPU-CPU"):
+                        nxt = np.empty(w.shape[0], dtype=np.int32)
+                        bufs = dpus.push_from_mram(y_off, max(counts) * 4)
+                        for i, buf in enumerate(bufs):
+                            nxt[bounds[i]:bounds[i + 1]] = (
+                                buf[:counts[i] * 4].view(np.int32))
+                        v = nxt
         return v

@@ -309,6 +309,30 @@ def cmd_chaos(args) -> int:
     return 0 if lost == 0 else 1
 
 
+def cmd_bench(args) -> int:
+    """Run a benchmark harness from the ``benchmarks/`` directory.
+
+    ``--cache`` selects the transfer-cache ablation (NW/BFS/MLP off/on,
+    ``docs/transfer_cache.md``); the default is the wall-clock harness.
+    """
+    import runpy
+    from pathlib import Path
+
+    script = ("bench_transfer_cache.py" if args.cache
+              else "bench_wallclock.py")
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / script
+    if not path.exists():
+        print(f"benchmark harness not found at {path}", file=sys.stderr)
+        return 2
+    argv = []
+    if args.profile == "test":
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    module = runpy.run_path(str(path))
+    return int(module["main"](argv))
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -450,6 +474,19 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--metrics-output", default=None, metavar="FILE",
                      help="write the repro_fault_* snapshot here (JSON)")
     cha.set_defaults(fn=cmd_chaos)
+
+    ben = sub.add_parser(
+        "bench",
+        help="run a perf harness (wall-clock, or --cache for the "
+             "transfer-cache ablation)")
+    ben.add_argument("--cache", action="store_true",
+                     help="run the content-aware transfer-cache ablation")
+    ben.add_argument("--check", action="store_true",
+                     help="fail on regression/divergence vs the committed "
+                          "artifact")
+    ben.add_argument("--profile", choices=["test", "bench"], default="test",
+                     help="test = --quick sizing; bench = full")
+    ben.set_defaults(fn=cmd_bench)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

@@ -110,6 +110,15 @@ class CostModel:
     #: accumulation) — ordinary DRAM copies, no interleaving.
     guest_copy_bandwidth: float = 8.0e9
 
+    #: Content-aware transfer cache (``Optimization(cache=True)`` only —
+    #: the cache-off model never charges these).  Digesting one 4 KiB page
+    #: with an xxhash-class hash runs at roughly memcpy speed on one core.
+    digest_per_page: float = 120e-9
+    #: Frontend per-entry digest-index probe (dict lookup + bookkeeping).
+    cache_lookup_cost: float = 50e-9
+    #: Backend per-SKIP-extent resident-index validation.
+    cache_skip_lookup_cost: float = 60e-9
+
     #: Contention between concurrently-handled rank requests in the VMM.
     #: Fig. 16 shows parallel per-rank write requests each taking ~6 s
     #: where a solo request takes ~1.1 s: the backend threads share the

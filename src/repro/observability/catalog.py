@@ -116,6 +116,23 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_bufpool_reuse_total", "counter",
         "Data-plane buffer acquisitions served from the reuse pool",
         ("vm", "device"), paper="§5.4.1 (host-side copy plumbing cost)"),
+    MetricSpec(
+        "repro_xfer_cache_hits_total", "counter",
+        "Write extents suppressed by the content-aware transfer cache",
+        ("vm", "device"), paper="PIM-CACHE extension (docs/transfer_cache.md)"),
+    MetricSpec(
+        "repro_xfer_cache_misses_total", "counter",
+        "Write extents probed but not matched in the digest index",
+        ("vm", "device"), paper="PIM-CACHE extension (docs/transfer_cache.md)"),
+    MetricSpec(
+        "repro_xfer_cache_suppressed_bytes_total", "counter",
+        "Payload bytes elided from the wire by transfer suppression",
+        ("vm", "device"), paper="PIM-CACHE extension (docs/transfer_cache.md)"),
+    MetricSpec(
+        "repro_xfer_cache_invalidations_total", "counter",
+        "Digest records dropped, by invalidation reason",
+        ("vm", "device", "reason"),
+        paper="PIM-CACHE extension (docs/transfer_cache.md)"),
 
     # -- manager: host-wide rank arbitration --------------------------------
     MetricSpec(

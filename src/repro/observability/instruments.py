@@ -97,6 +97,14 @@ class FrontendInstruments:
                                            "repro_frontend_request_seconds")
         self._queue_depth = instrument(registry, "repro_virtio_queue_depth")
         self._kicks = instrument(registry, "repro_virtio_kicks_total")
+        self._cache_hits = instrument(
+            registry, "repro_xfer_cache_hits_total").labels(**ids)
+        self._cache_misses = instrument(
+            registry, "repro_xfer_cache_misses_total").labels(**ids)
+        self._cache_suppressed = instrument(
+            registry, "repro_xfer_cache_suppressed_bytes_total").labels(**ids)
+        self._cache_invalidations = instrument(
+            registry, "repro_xfer_cache_invalidations_total")
         self._ids = ids
 
     def prefetch_hit(self, count: int = 1) -> None:
@@ -127,6 +135,23 @@ class FrontendInstruments:
 
     def kick(self, queue: str) -> None:
         self._kicks.labels(queue=queue, **self._ids).inc()
+
+    def cache_hit(self, count: int = 1) -> None:
+        if count:
+            self._cache_hits.inc(count)
+
+    def cache_miss(self, count: int = 1) -> None:
+        if count:
+            self._cache_misses.inc(count)
+
+    def cache_suppressed(self, nbytes: int) -> None:
+        if nbytes:
+            self._cache_suppressed.inc(nbytes)
+
+    def cache_invalidation(self, reason: str, count: int = 1) -> None:
+        if count:
+            self._cache_invalidations.labels(reason=reason,
+                                             **self._ids).inc(count)
 
 
 class BackendInstruments:

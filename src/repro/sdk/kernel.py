@@ -24,7 +24,7 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
-from repro.config import MAX_TASKLETS, WRAM_SIZE
+from repro.config import MAX_TASKLETS, MRAM_HEAP_SYMBOL, WRAM_SIZE
 from repro.errors import DpuFaultError
 from repro.hardware.dpu import Dpu
 
@@ -135,6 +135,18 @@ class TaskletContext:
         """Convenience for ``for`` loops: charge n x cost instructions."""
         self.charge(int(iterations * instructions_per_iteration))
 
+    def _mark_dirty(self, space: str, offset: int, nbytes: int) -> None:
+        """Record a kernel store in the DPU's dirty log, when armed.
+
+        The transfer cache's digest records claim "this extent still
+        holds what the host last wrote"; any kernel-side store breaks
+        that claim, so the backend arms this log around a launch and
+        prunes overlapping digests afterwards.
+        """
+        log = self._shared.dpu.dirty_log
+        if log is not None and nbytes:
+            log.append((space, offset, nbytes))
+
     # -- WRAM heap ------------------------------------------------------------
 
     def mem_alloc(self, size: int) -> int:
@@ -159,6 +171,7 @@ class TaskletContext:
         self._shared.read_cache.clear()
         self._shared.dma_ops += 1
         self._shared.dma_bytes += buf.size
+        self._mark_dirty(MRAM_HEAP_SYMBOL, offset, buf.size)
 
     def mram_read_blocks(self, offset: int, length: int,
                          block_bytes: int = 2048,
@@ -202,6 +215,7 @@ class TaskletContext:
         self._shared.read_cache.clear()
         self._shared.dma_ops += max(1, -(-buf.size // block_bytes))
         self._shared.dma_bytes += buf.size
+        self._mark_dirty(MRAM_HEAP_SYMBOL, offset, buf.size)
 
     # -- host-visible symbols ----------------------------------------------------
 
@@ -217,6 +231,7 @@ class TaskletContext:
 
     def set_host_u32(self, name: str, value: int, index: int = 0) -> None:
         struct.pack_into("<I", self._symbol(name), index * 4, value & 0xFFFFFFFF)
+        self._mark_dirty(name, index * 4, 4)
 
     def add_host_u32(self, name: str, value: int, index: int = 0) -> None:
         """Atomic add to a host variable (mutex-protected in real programs)."""
@@ -228,6 +243,7 @@ class TaskletContext:
     def set_host_u64(self, name: str, value: int, index: int = 0) -> None:
         struct.pack_into("<Q", self._symbol(name), index * 8,
                          value & 0xFFFFFFFFFFFFFFFF)
+        self._mark_dirty(name, index * 8, 8)
 
     def add_host_u64(self, name: str, value: int, index: int = 0) -> None:
         self.set_host_u64(name, self.host_u64(name, index) + value, index)
@@ -237,6 +253,7 @@ class TaskletContext:
 
     def set_host_i64(self, name: str, value: int, index: int = 0) -> None:
         struct.pack_into("<q", self._symbol(name), index * 8, value)
+        self._mark_dirty(name, index * 8, 8)
 
     # -- shared scratch ------------------------------------------------------------
 

@@ -29,8 +29,10 @@ OP_CI = "CI"
 
 #: Write-to-rank step names (Fig. 13): page management, matrix
 #: serialization, virtio interrupt handling, matrix deserialization, and
-#: the data transfer to UPMEM.
-WRANK_STEPS = ("Page", "Ser", "Int", "Deser", "T-data")
+#: the data transfer to UPMEM.  "Cache" is the content-aware transfer
+#: cache's digest/probe cost — only ever recorded when
+#: ``Optimization(cache=True)`` is on, so Fig. 13 runs never see it.
+WRANK_STEPS = ("Page", "Ser", "Int", "Deser", "T-data", "Cache")
 
 
 @dataclass

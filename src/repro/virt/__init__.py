@@ -21,7 +21,7 @@ Components, mirroring Fig. 4:
   of the above, making guest applications run unmodified.
 """
 
-from repro.virt.opts import OptimizationConfig
+from repro.virt.opts import Optimization, OptimizationConfig
 from repro.virt.manager import Manager, RankState
 from repro.virt.firecracker import Firecracker, VmConfig
 from repro.virt.transport import VirtTransport
@@ -35,6 +35,7 @@ from repro.virt.migration import (
 )
 
 __all__ = [
+    "Optimization",
     "OptimizationConfig",
     "Manager",
     "RankState",

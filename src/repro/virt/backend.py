@@ -38,11 +38,23 @@ from repro.virt.serialization import (
     RequestHeader,
     RequestKind,
     SerializedEntry,
+    SkipExtent,
     deserialize_request,
     gather_entry_data,
     scatter_entry_data,
 )
+from repro.virt.transfer_cache import ExtentDigestIndex
 from repro.virt.virtio import Descriptor
+
+
+def _is_broadcast(matrix: TransferMatrix) -> bool:
+    """True iff every entry carries the same payload (all-DPUs pattern)."""
+    entries = matrix.entries
+    if len(entries) < 2:
+        return False
+    first = entries[0]
+    return all(e.size == first.size and np.array_equal(e.data, first.data)
+               for e in entries[1:])
 
 
 @dataclass
@@ -116,7 +128,8 @@ class VUpmemBackend:
                  translation_threads: int = TRANSLATION_THREADS,
                  worker_threads: int = BACKEND_WORKER_THREADS,
                  metrics: Optional[MetricsRegistry] = None,
-                 spans: Optional[SpanRecorder] = None) -> None:
+                 spans: Optional[SpanRecorder] = None,
+                 cache_enabled: bool = False) -> None:
         self.device_id = device_id
         self.driver = driver
         self.memory = guest_memory
@@ -124,6 +137,11 @@ class VUpmemBackend:
         self.rust_data_path = rust_data_path
         self.translation_threads = translation_threads
         self.worker_threads = worker_threads
+        #: Content-aware transfer cache (``Optimization(cache=True)``):
+        #: resident-extent digests validating SKIPs, broadcast dedup,
+        #: launch-time dirty collection.
+        self.cache_enabled = cache_enabled
+        self.resident = ExtentDigestIndex()
         self.mapping: Optional[PerfModeMapping] = None
         self.requests_processed = 0
         #: Fault-injection seam (armed by :mod:`repro.faults`): when set,
@@ -186,14 +204,15 @@ class VUpmemBackend:
                 self.spans.mark_fault("backend_fault")
                 raise
         self.requests_processed += 1
-        header, entries = deserialize_request(chain, self.memory)
+        header, entries, skips = deserialize_request(chain, self.memory)
         # Rank bound at arrival time (RELEASE unlinks while handling).
         rank = str(self.mapping.rank.index) if self.mapping else "none"
         span = self.spans.begin("backend.request", "backend",
                                 kind=header.kind.name.lower(),
                                 rank=rank, device=self.device_id)
         try:
-            result = self._handle(header, entries, program, batch_records)
+            result = self._handle(header, entries, skips, program,
+                                  batch_records)
         except BaseException:
             self.spans.end(span, error=True)
             raise
@@ -203,6 +222,7 @@ class VUpmemBackend:
 
     def _handle(self, header: RequestHeader,
                 entries: List[SerializedEntry],
+                skips: List[SkipExtent],
                 program: Optional[DpuProgram],
                 batch_records: Optional[List[BatchRecord]],
                 ) -> BackendResult:
@@ -215,6 +235,7 @@ class VUpmemBackend:
             )
         if kind is RequestKind.RELEASE:
             self.unlink()
+            self.resident.invalidate_all()
             return BackendResult(duration=self.cost.backend_request_fixed)
 
         mapping = self._require_mapping()
@@ -222,11 +243,16 @@ class VUpmemBackend:
         if kind is RequestKind.LOAD:
             if program is None:
                 raise SerializationError("LOAD request without a program image")
+            # load_program rebuilds every symbol buffer; nothing resident
+            # from the previous program can be trusted afterwards.
+            self.resident.invalidate_all()
             duration = (self.cost.backend_request_fixed
                         + mapping.load(program))
             return BackendResult(duration=duration)
 
         if kind is RequestKind.LAUNCH:
+            if self.cache_enabled:
+                return self._launch_collecting_dirty(mapping)
             duration = (self.cost.backend_request_fixed
                         + mapping.launch())
             return BackendResult(duration=duration)
@@ -237,73 +263,113 @@ class VUpmemBackend:
             return BackendResult(duration=duration)
 
         # Data transfers: deserialization + translation + zero-copy access.
-        total_pages = sum(e.page_gpas.size for e in entries)
-        deser_time = (self.cost.backend_request_fixed
-                      + total_pages * self.cost.deserialize_per_page)
-        # Threaded GPA->HVA translation saturates at 8 threads — the
-        # paper "empirically validate[d] that using more than 8 threads
-        # does not provide additional benefits" (Section 4.2), which
-        # matches the 8-DPUs-per-chip memory parallelism.
-        effective_threads = max(1, min(self.translation_threads, 8))
-        translate_time = (self.cost.translate_fixed
-                          + total_pages * self.cost.translate_per_page
-                          / effective_threads)
-        xlb = self.xlb
-        hits0, misses0 = xlb.hits, xlb.misses
-        for entry in entries:
-            xlb.translate(entry.page_gpas)  # bounds-checked on XLB miss
-        self.obs.xlb(xlb.hits - hits0, xlb.misses - misses0)
-        self.obs.translation(total_pages, translate_time)
-        self.spans.event("backend.deserialize", "backend", deser_time,
-                         pages=total_pages)
-        self.spans.event("backend.translate", "backend", translate_time,
-                         pages=total_pages, threads=effective_threads)
-
-        dispatch_time = self.cost.backend_dispatch
-        self.spans.event("backend.dispatch", "backend", dispatch_time)
+        if skips and not self.cache_enabled:
+            raise SerializationError(
+                "request carries SKIP extents but the transfer cache is off")
+        for skip in skips:
+            # A SKIP the resident index cannot vouch for is a protocol
+            # violation — suppressing it silently would corrupt the DPU.
+            if not self.resident.lookup(skip.dpu_index, header.symbol,
+                                        header.offset, skip.size,
+                                        skip.digest):
+                raise SerializationError(
+                    f"SKIP extent (dpu {skip.dpu_index}, symbol "
+                    f"{header.symbol!r}, offset {header.offset}, size "
+                    f"{skip.size}) is not resident on the backend")
 
         pool = self.pool
         reuse0 = pool.reuse_count
 
-        if kind is RequestKind.WRITE_RANK:
-            if batch_records is not None:
-                tdata = self._replay_batch(mapping, header, batch_records)
-            else:
-                matrix, loaned = self._rebuild_matrix(
-                    header, entries, XferKind.TO_DPU)
-                try:
+        # Non-batched writes rebuild the matrix up front so the payload
+        # bytes are available for broadcast detection.
+        matrix = None
+        loaned: List[np.ndarray] = []
+        broadcast = False
+        if kind is RequestKind.WRITE_RANK and batch_records is None:
+            matrix, loaned = self._rebuild_matrix(
+                header, entries, XferKind.TO_DPU)
+            broadcast = self.cache_enabled and _is_broadcast(matrix)
+
+        try:
+            total_pages = sum(e.page_gpas.size for e in entries)
+            # Broadcast-identical payloads (the all-DPUs-same-buffer PrIM
+            # pattern) are deserialized and translated once, then fanned
+            # out — only the modeled time changes, every page is still
+            # validated and written.
+            modeled_pages = (entries[0].page_gpas.size if broadcast
+                             else total_pages)
+            deser_time = (self.cost.backend_request_fixed
+                          + modeled_pages * self.cost.deserialize_per_page
+                          + len(skips) * self.cost.cache_skip_lookup_cost)
+            # Threaded GPA->HVA translation saturates at 8 threads — the
+            # paper "empirically validate[d] that using more than 8 threads
+            # does not provide additional benefits" (Section 4.2), which
+            # matches the 8-DPUs-per-chip memory parallelism.
+            effective_threads = max(1, min(self.translation_threads, 8))
+            translate_time = (self.cost.translate_fixed
+                              + modeled_pages * self.cost.translate_per_page
+                              / effective_threads)
+            xlb = self.xlb
+            hits0, misses0 = xlb.hits, xlb.misses
+            for entry in entries:
+                xlb.translate(entry.page_gpas)  # bounds-checked on XLB miss
+            self.obs.xlb(xlb.hits - hits0, xlb.misses - misses0)
+            self.obs.translation(total_pages, translate_time)
+            self.spans.event("backend.deserialize", "backend", deser_time,
+                             pages=total_pages, broadcast=broadcast)
+            self.spans.event("backend.translate", "backend", translate_time,
+                             pages=total_pages, threads=effective_threads)
+
+            dispatch_time = self.cost.backend_dispatch
+            self.spans.event("backend.dispatch", "backend", dispatch_time)
+
+            if kind is RequestKind.WRITE_RANK:
+                if batch_records is not None:
+                    tdata = self._replay_batch(mapping, header, batch_records)
+                else:
                     tdata = mapping.write(
                         matrix, rust_interleave=self.rust_data_path)
+                    if self.cache_enabled:
+                        for entry in entries:
+                            if entry.digest:
+                                self.resident.insert(
+                                    entry.dpu_index, header.symbol,
+                                    header.offset, entry.size, entry.digest)
+                self.obs.bufpool_reuse(pool.reuse_count - reuse0)
+                self.obs.interleave(tdata)
+                steps = {"Deser": deser_time + translate_time,
+                         "T-data": tdata}
+                duration = deser_time + translate_time + dispatch_time + tdata
+                return BackendResult(duration=duration, steps=steps)
+
+            if kind is RequestKind.READ_RANK:
+                matrix, _ = self._rebuild_matrix(header, entries,
+                                                 XferKind.FROM_DPU)
+                loaned_reads = [pool.acquire(e.size) for e in entries]
+                try:
+                    buffers, tdata = mapping.read(
+                        matrix, rust_interleave=self.rust_data_path,
+                        into=loaned_reads)
+                    for entry, buf in zip(entries, buffers):
+                        scatter_entry_data(entry, buf, self.memory)
                 finally:
-                    # Runs on injected transport faults too: pooled
-                    # buffers must never leak out of an aborted request.
-                    for buf in loaned:
+                    for buf in loaned_reads:
                         pool.release(buf)
-            self.obs.bufpool_reuse(pool.reuse_count - reuse0)
-            self.obs.interleave(tdata)
-            steps = {"Deser": deser_time + translate_time, "T-data": tdata}
-            duration = deser_time + translate_time + dispatch_time + tdata
-            return BackendResult(duration=duration, steps=steps)
+                self.obs.bufpool_reuse(pool.reuse_count - reuse0)
+                self.obs.interleave(tdata)
+                steps = {"Deser": deser_time + translate_time,
+                         "T-data": tdata}
+                duration = deser_time + translate_time + dispatch_time + tdata
+                return BackendResult(duration=duration, steps=steps,
+                                     payload=len(buffers))
 
-        if kind is RequestKind.READ_RANK:
-            matrix, _ = self._rebuild_matrix(header, entries, XferKind.FROM_DPU)
-            loaned = [pool.acquire(e.size) for e in entries]
-            try:
-                buffers, tdata = mapping.read(
-                    matrix, rust_interleave=self.rust_data_path, into=loaned)
-                for entry, buf in zip(entries, buffers):
-                    scatter_entry_data(entry, buf, self.memory)
-            finally:
-                for buf in loaned:
-                    pool.release(buf)
-            self.obs.bufpool_reuse(pool.reuse_count - reuse0)
-            self.obs.interleave(tdata)
-            steps = {"Deser": deser_time + translate_time, "T-data": tdata}
-            duration = deser_time + translate_time + dispatch_time + tdata
-            return BackendResult(duration=duration, steps=steps,
-                                 payload=len(buffers))
-
-        raise SerializationError(f"backend cannot handle request kind {kind}")
+            raise SerializationError(
+                f"backend cannot handle request kind {kind}")
+        finally:
+            # Runs on injected transport faults too: pooled buffers must
+            # never leak out of an aborted request.
+            for buf in loaned:
+                pool.release(buf)
 
     # -- helpers ---------------------------------------------------------------------
 
@@ -339,6 +405,31 @@ class VUpmemBackend:
             raise
         return matrix, loaned
 
+    def _launch_collecting_dirty(self, mapping: PerfModeMapping,
+                                 ) -> BackendResult:
+        """LAUNCH with kernel dirty-store collection (cache on only).
+
+        Every DPU's dirty log is armed around the run; stores collected
+        there invalidate overlapping resident digests and travel back to
+        the frontend (in the payload) so its index stays honest too.
+        """
+        dpus = mapping.rank.dpus
+        for dpu in dpus:
+            dpu.dirty_log = []
+        dirty: List[Tuple[int, str, int, int]] = []
+        try:
+            duration = (self.cost.backend_request_fixed
+                        + mapping.launch())
+        finally:
+            # Disarm and prune even when the launch faults: the kernel
+            # may have stored before raising.
+            for dpu in dpus:
+                log, dpu.dirty_log = dpu.dirty_log, None
+                for space, offset, nbytes in log or ():
+                    self.resident.prune(dpu.dpu_index, space, offset, nbytes)
+                    dirty.append((dpu.dpu_index, space, offset, nbytes))
+        return BackendResult(duration=duration, payload=dirty)
+
     def _replay_batch(self, mapping: PerfModeMapping, header: RequestHeader,
                       records: List[BatchRecord]) -> float:
         """Apply buffered small writes one hardware operation each.
@@ -346,14 +437,35 @@ class VUpmemBackend:
         Batching merges *messages*, not hardware operations: "this batching
         mechanism does not reduce the total data writing time" (Section
         4.1) — each record still pays the rank's per-operation cost.
+
+        With the transfer cache on, adjacent records carrying the *same*
+        payload to the same offset on distinct DPUs (the broadcast
+        argument-push pattern) are deduplicated into one multi-DPU rank
+        operation: the content-aware exception to the rule above.
         """
         total = 0.0
-        for record in records:
+        i = 0
+        while i < len(records):
+            run = [records[i]]
+            if self.cache_enabled:
+                j = i + 1
+                while j < len(records):
+                    nxt = records[j]
+                    if (nxt.offset == run[0].offset
+                            and nxt.data.size == run[0].data.size
+                            and all(nxt.dpu_index != r.dpu_index
+                                    for r in run)
+                            and np.array_equal(nxt.data, run[0].data)):
+                        run.append(nxt)
+                        j += 1
+                    else:
+                        break
             matrix = TransferMatrix(
-                XferKind.TO_DPU, header.symbol, record.offset,
-                [DpuEntry(dpu_index=record.dpu_index,
-                          size=record.data.size, data=record.data)],
+                XferKind.TO_DPU, header.symbol, run[0].offset,
+                [DpuEntry(dpu_index=r.dpu_index,
+                          size=r.data.size, data=r.data) for r in run],
             )
             total += mapping.write(matrix, rust_interleave=self.rust_data_path)
+            i += len(run)
         self.obs.batch_replay(len(records))
         return total

@@ -110,6 +110,7 @@ class Firecracker:
                 device_id=device_id, driver=self.driver, guest_memory=memory,
                 cost=self.cost, rust_data_path=not config.opts.c_enhancement,
                 metrics=self.machine.metrics, spans=self.machine.spans,
+                cache_enabled=config.opts.cache,
             )
             # One MMIO window + IRQ per device, passed to the guest on
             # the kernel command line (Section 3.2).

@@ -45,8 +45,10 @@ from repro.virt.serialization import (
     RequestHeader,
     RequestKind,
     SerializedRequest,
+    SkipExtent,
     serialize_matrix,
 )
+from repro.virt.transfer_cache import ExtentDigestIndex, content_digest
 from repro.virt.virtio import UsedElement, VirtioPimQueues, write_buffer
 
 #: Writes at or below this per-DPU size are candidates for batching.
@@ -155,6 +157,12 @@ class VUpmemFrontend:
         self.profiler = profiler
         self.cache = PrefetchCache(opts.prefetch_pages_per_dpu)
         self.batch = BatchBuffer(opts.batch_pages_per_dpu)
+        #: Content-aware transfer cache (``Optimization(cache=True)``):
+        #: per-extent digests of what the device already holds, used to
+        #: suppress unchanged writes.  ``None`` keeps the default path
+        #: bit-identical to the committed wall-clock digest.
+        self.digests: Optional[ExtentDigestIndex] = (
+            ExtentDigestIndex() if opts.cache else None)
         self.device_config: Optional[dict] = None
         self.mmio = mmio or MmioWindow(base_address=0xD000_0000, irq=5)
         #: Live telemetry (cache hits/misses, flush reasons, request
@@ -189,6 +197,8 @@ class VUpmemFrontend:
                    batch_records: Optional[List[BatchRecord]] = None,
                    extra_pages: int = 0,
                    op: Optional[str] = None,
+                   digests: Optional[Dict[int, int]] = None,
+                   skips: Optional[List[SkipExtent]] = None,
                    ) -> Tuple[BackendResult, float, Optional[SerializedRequest]]:
         """Send one request, retrying on transient transport faults.
 
@@ -219,7 +229,8 @@ class VUpmemFrontend:
                         penalty += self.fault_hook(self)
                     result, duration, sreq = self._roundtrip_once(
                         header, matrix=matrix, program=program,
-                        batch_records=batch_records, extra_pages=extra_pages)
+                        batch_records=batch_records, extra_pages=extra_pages,
+                        digests=digests, skips=skips)
                 except TransientFaultError as exc:
                     attempts += 1
                     penalty += exc.penalty_s
@@ -230,6 +241,10 @@ class VUpmemFrontend:
                         attempt=attempts, device=self.device_id)
                     if attempts > self.max_transport_retries:
                         self.cache.invalidate()
+                        # The aborted exchange may have partially landed;
+                        # a digest index claiming otherwise would suppress
+                        # the repair write after recovery.
+                        self._invalidate_digests("retry_exhausted")
                         raise
                     self.fault_obs.retry("frontend")
                     penalty += (self.cost.transport_retry_backoff
@@ -251,6 +266,8 @@ class VUpmemFrontend:
                         program: Optional[DpuProgram] = None,
                         batch_records: Optional[List[BatchRecord]] = None,
                         extra_pages: int = 0,
+                        digests: Optional[Dict[int, int]] = None,
+                        skips: Optional[List[SkipExtent]] = None,
                         ) -> Tuple[BackendResult, float,
                                    Optional[SerializedRequest]]:
         """Send one request through the transferq; returns the backend
@@ -258,7 +275,8 @@ class VUpmemFrontend:
         page_time = ser_time = 0.0
         sreq: Optional[SerializedRequest] = None
         if matrix is not None:
-            sreq = serialize_matrix(header, matrix, self.memory)
+            sreq = serialize_matrix(header, matrix, self.memory,
+                                    digests=digests, skips=skips)
             pages = sreq.total_pages + extra_pages
             page_time = pages * self.cost.page_mgmt_per_page
             ser_time = pages * self.cost.serialize_per_page
@@ -388,6 +406,9 @@ class VUpmemFrontend:
                                              op=OP_WRITE)
         except Exception:
             self.cache.invalidate()
+            # Batched digests were indexed at add time; a failed flush
+            # means that content never landed on the device.
+            self._invalidate_digests("flush_error")
             self.spans.end(span, error=True)
             raise
         self.batch.drain()
@@ -395,6 +416,57 @@ class VUpmemFrontend:
         self.spans.end(span, duration=duration)
         self.profiler.record_op(OP_WRITE, duration, start=span.start)
         return duration
+
+    # -- content-aware transfer cache (``Optimization(cache=True)``) ---------
+
+    def _invalidate_digests(self, reason: str) -> None:
+        """Drop every digest record, counting the drops by ``reason``."""
+        if self.digests is not None:
+            self.obs.cache_invalidation(reason,
+                                        self.digests.invalidate_all())
+
+    def _probe_digests(self, matrix: TransferMatrix,
+                       ) -> Tuple[List[DpuEntry], List[SkipExtent],
+                                  Dict[int, int], int, float]:
+        """Digest a write matrix and split it into kept vs suppressed.
+
+        Returns ``(kept, skips, digests, suppressed_bytes, cache_time)``:
+        entries whose extent digest matches the index become ``SKIP``
+        extents; the rest are kept with their fresh digests.  The modeled
+        cost charges the calibrated per-page digest rate plus a per-entry
+        index probe.
+        """
+        index = self.digests
+        assert index is not None
+        kept: List[DpuEntry] = []
+        skips: List[SkipExtent] = []
+        digests: Dict[int, int] = {}
+        suppressed = 0
+        pages = 0
+        for entry in matrix.entries:
+            digest = content_digest(entry.data)
+            pages += self.cost.pages_of(entry.size)
+            if index.lookup(entry.dpu_index, matrix.symbol, matrix.offset,
+                            entry.size, digest):
+                skips.append(SkipExtent(dpu_index=entry.dpu_index,
+                                        size=entry.size, digest=digest))
+                suppressed += entry.size
+            else:
+                kept.append(entry)
+                digests[entry.dpu_index] = digest
+        cache_time = (pages * self.cost.digest_per_page
+                      + len(matrix.entries) * self.cost.cache_lookup_cost)
+        self.obs.cache_hit(len(skips))
+        self.obs.cache_miss(len(kept))
+        self.obs.cache_suppressed(suppressed)
+        self.spans.event("cache.lookup", "frontend", cache_time,
+                         op=OP_WRITE, entries=len(matrix.entries),
+                         hits=len(skips))
+        if skips:
+            self.spans.event("cache.suppress", "frontend", 0.0, op=OP_WRITE,
+                             extents=len(skips), bytes=suppressed)
+        self.profiler.record_wrank_step("Cache", cache_time)
+        return kept, skips, digests, suppressed, cache_time
 
     # -- SDK-visible operations ----------------------------------------------------
 
@@ -404,6 +476,23 @@ class VUpmemFrontend:
         small = (matrix.target is Target.MRAM
                  and matrix.max_entry_bytes <= SMALL_WRITE_BYTES)
         if self.opts.request_batching and small:
+            cache_time = 0.0
+            if self.digests is not None:
+                kept, _, digests, _, cache_time = self._probe_digests(matrix)
+                if not kept:
+                    # Every entry suppressed: nothing enters the batch.
+                    self.profiler.record_op(OP_WRITE, cache_time)
+                    return cache_time
+                if len(kept) < len(matrix.entries):
+                    matrix = TransferMatrix(matrix.kind, matrix.symbol,
+                                            matrix.offset, kept)
+                # Indexed at add time, before the flush lands: safe
+                # because a failed flush (and retry exhaustion) drops
+                # the whole index.
+                for entry in kept:
+                    self.digests.insert(entry.dpu_index, matrix.symbol,
+                                        matrix.offset, entry.size,
+                                        digests[entry.dpu_index])
             flush_time = 0.0
             if not self.batch.fits(matrix):
                 flush_time = self._flush_batch(reason="capacity")
@@ -419,16 +508,43 @@ class VUpmemFrontend:
             if event is not None:
                 self._batch_span_ids.append(event.span_id)
             self.profiler.record_op(
-                OP_WRITE, copy_time,
+                OP_WRITE, copy_time + cache_time,
                 start=event.start if event is not None else None)
-            return flush_time + copy_time
+            return flush_time + copy_time + cache_time
 
         duration = self._flush_batch(reason="large_write")
+        if self.digests is not None:
+            return duration + self._cached_write(matrix)
         header = RequestHeader(kind=RequestKind.WRITE_RANK,
                                offset=matrix.offset, symbol=matrix.symbol)
         _, rt, _ = self._roundtrip(header, matrix=matrix, op=OP_WRITE)
         self.profiler.record_op(OP_WRITE, rt, start=self._last_request_start)
         return duration + rt
+
+    def _cached_write(self, matrix: TransferMatrix) -> float:
+        """Full-roundtrip write with digest suppression (cache on)."""
+        assert self.digests is not None
+        kept, skips, digests, _, cache_time = self._probe_digests(matrix)
+        if not kept:
+            # The whole matrix is unchanged: no message at all.
+            self.profiler.record_op(OP_WRITE, cache_time)
+            return cache_time
+        wire = matrix
+        if skips:
+            wire = TransferMatrix(matrix.kind, matrix.symbol, matrix.offset,
+                                  kept)
+        header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                               offset=matrix.offset, symbol=matrix.symbol)
+        _, rt, _ = self._roundtrip(header, matrix=wire, op=OP_WRITE,
+                                   digests=digests, skips=skips)
+        # Indexed only after the exchange succeeded.
+        for entry in kept:
+            self.digests.insert(entry.dpu_index, matrix.symbol,
+                                matrix.offset, entry.size,
+                                digests[entry.dpu_index])
+        self.profiler.record_op(OP_WRITE, rt + cache_time,
+                                start=self._last_request_start)
+        return rt + cache_time
 
     def read(self, matrix: TransferMatrix) -> Tuple[List[np.ndarray], float]:
         """read-from-rank, possibly served by the prefetch cache."""
@@ -493,6 +609,9 @@ class VUpmemFrontend:
     def load(self, program: DpuProgram) -> float:
         duration = self._flush_batch(reason="load")
         self.cache.invalidate()
+        # Loading rebuilds every symbol buffer on the device; digests of
+        # the previous program's extents are meaningless afterwards.
+        self._invalidate_digests("load")
         binary_pages = (program.binary_size + PAGE_SIZE - 1) // PAGE_SIZE
         header = RequestHeader(kind=RequestKind.LOAD,
                                program_name=program.name)
@@ -504,7 +623,16 @@ class VUpmemFrontend:
         duration = self._flush_batch(reason="launch")
         self.cache.invalidate()
         header = RequestHeader(kind=RequestKind.LAUNCH)
-        _, rt, _ = self._roundtrip(header)
+        result, rt, _ = self._roundtrip(header)
+        if self.digests is not None and result.payload:
+            # The backend collected the kernel's dirty stores; drop the
+            # digests they overlap instead of the whole index, so digests
+            # of extents the run never touched keep suppressing.
+            pruned = 0
+            for dpu_index, space, offset, nbytes in result.payload:
+                pruned += self.digests.prune(dpu_index, space, offset,
+                                             nbytes)
+            self.obs.cache_invalidation("launch_dirty", pruned)
         return duration + rt
 
     def ci_ops(self, count: int) -> float:
@@ -571,6 +699,7 @@ class VUpmemFrontend:
             self.batch.drain()
             duration = 0.0
         self.cache.invalidate()
+        self._invalidate_digests("release")
         header = RequestHeader(kind=RequestKind.RELEASE)
         try:
             _, rt, _ = self._roundtrip(header)

@@ -28,6 +28,13 @@ class OptimizationConfig:
     #: transition cost.  Not part of Table 2; off by default.
     vhost_vsock: bool = False
 
+    #: PIM-CACHE-inspired experimental extension (``docs/transfer_cache.md``):
+    #: content-aware transfer suppression in the W-rank write path —
+    #: unchanged extents become SKIP records, broadcast-identical payloads
+    #: are deserialized once.  Not part of Table 2; off by default so the
+    #: committed wall-clock digest stays bit-identical.
+    cache: bool = False
+
     prefetch_pages_per_dpu: int = PREFETCH_PAGES_PER_DPU
     batch_pages_per_dpu: int = BATCH_PAGES_PER_DPU
 
@@ -43,7 +50,12 @@ class OptimizationConfig:
             "B" if self.request_batching else "-",
             "M" if self.parallel_handling else "-",
         ])
-        return f"vPIM[{flags}]"
+        label = f"vPIM[{flags}]"
+        return label + "+cache" if self.cache else label
+
+
+#: Short alias used in examples and docs: ``Optimization(cache=True)``.
+Optimization = OptimizationConfig
 
 
 #: The rows of Table 2.  ``vPIM-Seq`` differs from full ``vPIM`` only by

@@ -14,13 +14,22 @@ Layout in the virtqueue (Fig. 7)::
     [request info][matrix meta][dpu0 meta][dpu0 pages][dpu1 meta]...
 
 which is at most 2 + 2*64 = 130 buffers for a full 64-DPU rank.
+
+With the content-aware transfer cache enabled (``Optimization(cache=True)``,
+see ``docs/transfer_cache.md``) writes use an extended **cache format**:
+the matrix-meta buffer grows a tail of ``SKIP`` extents — unchanged
+slices the backend resolves from its resident-extent index instead of
+the wire — and each kept entry's metadata gains a fourth word, its
+64-bit content digest.  The default format is emitted bit-for-bit
+unchanged when the cache is off; the deserializer tells the two apart by
+the metadata buffer sizes alone, so old and new chains coexist.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -98,6 +107,24 @@ class SerializedEntry:
     dpu_index: int
     size: int
     page_gpas: np.ndarray
+    #: Content digest of the payload (cache wire format only; 0 means
+    #: "not digested" and the backend records nothing for the extent).
+    digest: int = 0
+
+
+@dataclass(frozen=True)
+class SkipExtent:
+    """An unchanged extent elided from the wire (cache format only).
+
+    The offset is the matrix offset — every entry of one matrix shares
+    it — so a skip is fully located by its DPU index.  The backend must
+    find the extent, with this digest, in its resident index; anything
+    else is a protocol violation.
+    """
+
+    dpu_index: int
+    size: int
+    digest: int
 
 
 @dataclass
@@ -117,18 +144,30 @@ def _entry_pages(size: int) -> int:
 
 
 def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
-                     memory: GuestMemory) -> SerializedRequest:
+                     memory: GuestMemory,
+                     digests: Optional[Dict[int, int]] = None,
+                     skips: Optional[List[SkipExtent]] = None,
+                     ) -> SerializedRequest:
     """Serialize ``matrix`` into guest memory and build the chain.
 
     For writes, the payload is placed into guest pages and referenced by
     GPA (zero-copy hand-off).  For reads, destination pages are allocated
     so the backend can deposit results directly into guest memory.
+
+    ``digests`` (per-DPU content digests of the kept entries) and
+    ``skips`` (suppressed extents) switch the chain to the cache wire
+    format; leaving both ``None`` — the cache-off default — emits the
+    original format byte-for-byte.
     """
+    cache_format = digests is not None or skips is not None
     chain: List[Descriptor] = [write_buffer(memory, header.pack())]
-    matrix_meta = np.array(
-        [len(matrix.entries), matrix.offset, int(matrix.kind is XferKind.TO_DPU)],
-        dtype=np.uint64,
-    )
+    head = [len(matrix.entries), matrix.offset,
+            int(matrix.kind is XferKind.TO_DPU)]
+    if cache_format:
+        head.append(len(skips or ()))
+        for skip in skips or ():
+            head.extend((skip.dpu_index, skip.size, skip.digest))
+    matrix_meta = np.array(head, dtype=np.uint64)
     chain.append(write_buffer(memory, matrix_meta))
 
     total_pages = 0
@@ -136,8 +175,10 @@ def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
     for entry in matrix.entries:
         nr_pages = _entry_pages(entry.size)
         total_pages += nr_pages
-        entry_meta = np.array([entry.dpu_index, entry.size, nr_pages],
-                              dtype=np.uint64)
+        words = [entry.dpu_index, entry.size, nr_pages]
+        if cache_format:
+            words.append((digests or {}).get(entry.dpu_index, 0))
+        entry_meta = np.array(words, dtype=np.uint64)
         chain.append(write_buffer(memory, entry_meta))
         if matrix.kind is XferKind.TO_DPU:
             gpa = memory.alloc_pages(nr_pages)
@@ -157,15 +198,33 @@ def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
 
 
 def deserialize_request(chain: List[Descriptor], memory: GuestMemory,
-                        ) -> Tuple[RequestHeader, List[SerializedEntry]]:
-    """Backend side: rebuild the header and entry list from a chain."""
+                        ) -> Tuple[RequestHeader, List[SerializedEntry],
+                                   List[SkipExtent]]:
+    """Backend side: rebuild header, entries and SKIP extents from a chain.
+
+    The third element is empty for the default wire format; only the
+    cache format (``Optimization(cache=True)`` writes) can carry skips.
+    """
     if not chain:
         raise SerializationError("empty descriptor chain")
     header = RequestHeader.unpack(memory.read(chain[0].gpa, chain[0].length))
     if len(chain) == 1:
-        return header, []
+        return header, [], []
     meta = memory.read(chain[1].gpa, chain[1].length).view(np.uint64)
     nr_entries = int(meta[0])
+    skips: List[SkipExtent] = []
+    if meta.size != 3:
+        # Cache format: word 3 counts skip extents, three words each.
+        if meta.size < 4 or meta.size != 4 + 3 * int(meta[3]):
+            raise SerializationError(
+                f"matrix metadata of {meta.size} words matches neither the "
+                f"default (3) nor the cache format (4 + 3*nr_skips)"
+            )
+        for s in range(int(meta[3])):
+            base = 4 + 3 * s
+            skips.append(SkipExtent(dpu_index=int(meta[base]),
+                                    size=int(meta[base + 1]),
+                                    digest=int(meta[base + 2])))
     expected = 2 + 2 * nr_entries
     if len(chain) != expected:
         raise SerializationError(
@@ -186,8 +245,9 @@ def deserialize_request(chain: List[Descriptor], memory: GuestMemory,
         entries.append(SerializedEntry(
             dpu_index=int(emeta[0]), size=int(emeta[1]),
             page_gpas=page_gpas.copy(),
+            digest=int(emeta[3]) if emeta.size >= 4 else 0,
         ))
-    return header, entries
+    return header, entries, skips
 
 
 def gather_entry_data(entry: SerializedEntry, memory: GuestMemory,

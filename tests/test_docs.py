@@ -79,12 +79,30 @@ class TestMetricTableMatchesCatalog:
             f"catalog metrics missing from docs/observability.md: "
             f"{sorted(missing)}")
 
-    def test_documented_labels_match_catalog(self):
-        """Each table row lists exactly the spec's label names."""
+    @pytest.fixture(scope="class")
+    def table_rows(self) -> list:
         text = (REPO_ROOT / "docs" / "observability.md").read_text()
         rows = re.findall(r"^\| `(repro_[a-z0-9_]+)` \|[^|]+\| ([^|]*) \|",
                           text, re.MULTILINE)
         assert rows, "metric table not found in docs/observability.md"
+        return rows
+
+    def test_every_cataloged_metric_has_a_table_row(self, table_rows):
+        """Stronger than prose mentions: each family needs its own row."""
+        missing = set(CATALOG) - {name for name, _ in table_rows}
+        assert not missing, (
+            f"catalog metrics with no docs/observability.md table row: "
+            f"{sorted(missing)}")
+
+    def test_every_table_row_is_cataloged(self, table_rows):
+        unknown = {name for name, _ in table_rows} - set(CATALOG)
+        assert not unknown, (
+            f"docs/observability.md table rows for uncataloged metrics: "
+            f"{sorted(unknown)}")
+
+    def test_documented_labels_match_catalog(self, table_rows):
+        """Each table row lists exactly the spec's label names."""
+        rows = table_rows
         for name, label_cell in rows:
             spec = CATALOG[name]
             documented_labels = tuple(re.findall(r"`([^`]+)`", label_cell))

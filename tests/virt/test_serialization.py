@@ -69,8 +69,9 @@ def test_serialize_deserialize_roundtrip(mem):
     header = RequestHeader(kind=RequestKind.WRITE_RANK,
                            symbol=MRAM_HEAP_SYMBOL)
     sreq = serialize_matrix(header, matrix, mem)
-    got_header, entries = deserialize_request(sreq.chain, mem)
+    got_header, entries, skips = deserialize_request(sreq.chain, mem)
     assert got_header.kind is RequestKind.WRITE_RANK
+    assert skips == []
     assert len(entries) == 3
     for i, entry in enumerate(entries):
         assert entry.size == 3000
@@ -83,7 +84,7 @@ def test_read_matrix_allocates_destination_pages(mem):
     header = RequestHeader(kind=RequestKind.READ_RANK,
                            symbol=MRAM_HEAP_SYMBOL)
     sreq = serialize_matrix(header, matrix, mem)
-    _, entries = deserialize_request(sreq.chain, mem)
+    _, entries, _ = deserialize_request(sreq.chain, mem)
     results = (np.arange(10_000) % 251).astype(np.uint8)
     for entry in entries:
         scatter_entry_data(entry, results, mem)
@@ -98,7 +99,7 @@ def test_scatter_wrong_size_rejected(mem):
     sreq = serialize_matrix(
         RequestHeader(kind=RequestKind.READ_RANK, symbol=MRAM_HEAP_SYMBOL),
         matrix, mem)
-    _, entries = deserialize_request(sreq.chain, mem)
+    _, entries, _ = deserialize_request(sreq.chain, mem)
     with pytest.raises(SerializationError):
         scatter_entry_data(entries[0], np.zeros(99, dtype=np.uint8), mem)
 
@@ -122,9 +123,10 @@ def test_header_only_request(mem):
     from repro.virt.virtio import write_buffer
     header = RequestHeader(kind=RequestKind.LAUNCH)
     chain = [write_buffer(mem, header.pack())]
-    got, entries = deserialize_request(chain, mem)
+    got, entries, skips = deserialize_request(chain, mem)
     assert got.kind is RequestKind.LAUNCH
     assert entries == []
+    assert skips == []
 
 
 def test_xfer_kind_mapping():
@@ -140,6 +142,69 @@ def test_page_gpas_are_page_aligned(mem):
     sreq = serialize_matrix(
         RequestHeader(kind=RequestKind.WRITE_RANK, symbol=MRAM_HEAP_SYMBOL),
         matrix, mem)
-    _, entries = deserialize_request(sreq.chain, mem)
+    _, entries, _ = deserialize_request(sreq.chain, mem)
     assert (entries[0].page_gpas % PAGE_SIZE == 0).all()
     assert entries[0].page_gpas.size == 3
+
+
+# -- cache wire format (Optimization(cache=True) writes) ----------------------
+
+def test_cache_format_roundtrips_digests_and_skips(mem):
+    from repro.virt.serialization import SkipExtent
+    bufs = [np.arange(200, dtype=np.uint8),
+            (np.arange(5000) % 256).astype(np.uint8)]
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 64, bufs)
+    header = RequestHeader(kind=RequestKind.WRITE_RANK, offset=64,
+                           symbol=MRAM_HEAP_SYMBOL)
+    digests = {0: 0x1111, 1: 0xFFFFFFFFFFFFFFFF}
+    skips = [SkipExtent(dpu_index=2, size=4096, digest=0xABCDEF),
+             SkipExtent(dpu_index=3, size=17, digest=0)]
+    sreq = serialize_matrix(header, matrix, mem, digests=digests, skips=skips)
+    _, entries, got_skips = deserialize_request(sreq.chain, mem)
+    assert got_skips == skips
+    assert [e.digest for e in entries] == [0x1111, 0xFFFFFFFFFFFFFFFF]
+    for i, entry in enumerate(entries):
+        assert np.array_equal(gather_entry_data(entry, mem), bufs[i])
+
+
+def test_cache_format_without_skips(mem):
+    # digests alone (no suppressed extents) still select the cache
+    # format: entry metadata grows the digest word, skip count is zero.
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0, [np.zeros(100, np.uint8)])
+    header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                           symbol=MRAM_HEAP_SYMBOL)
+    sreq = serialize_matrix(header, matrix, mem, digests={0: 42})
+    meta = mem.read(sreq.chain[1].gpa, sreq.chain[1].length).view(np.uint64)
+    assert meta.size == 4 and int(meta[3]) == 0
+    _, entries, skips = deserialize_request(sreq.chain, mem)
+    assert skips == []
+    assert entries[0].digest == 42
+
+
+def test_default_format_is_unchanged_by_the_cache_code(mem):
+    # The cache-off wire format must stay bit-identical: 3 meta words,
+    # no digest word on entries.
+    matrix = uniform_write(MRAM_HEAP_SYMBOL, 0, [np.zeros(100, np.uint8)])
+    header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                           symbol=MRAM_HEAP_SYMBOL)
+    sreq = serialize_matrix(header, matrix, mem)
+    meta = mem.read(sreq.chain[1].gpa, sreq.chain[1].length).view(np.uint64)
+    assert meta.size == 3
+    emeta = mem.read(sreq.chain[2].gpa, sreq.chain[2].length).view(np.uint64)
+    assert emeta.size == 3
+    _, entries, skips = deserialize_request(sreq.chain, mem)
+    assert skips == [] and entries[0].digest == 0
+
+
+def test_malformed_cache_meta_rejected(mem):
+    # A matrix-meta block whose size matches neither format is rejected.
+    from repro.virt.virtio import write_buffer
+    header = RequestHeader(kind=RequestKind.WRITE_RANK,
+                           symbol=MRAM_HEAP_SYMBOL)
+    for words in ([1, 0, 1, 2, 9, 9, 9],    # claims 2 skips, holds 1
+                  [1, 0, 1, 1, 9, 9],       # claims 1 skip, 2 words short
+                  [1, 0]):                   # shorter than default format
+        chain = [write_buffer(mem, header.pack()),
+                 write_buffer(mem, np.array(words, dtype=np.uint64))]
+        with pytest.raises(SerializationError):
+            deserialize_request(chain, mem)
