@@ -333,6 +333,33 @@ def cmd_bench(args) -> int:
     return int(module["main"](argv))
 
 
+def cmd_qos(args) -> int:
+    """Noisy-neighbor isolation demo (``docs/qos.md``).
+
+    Runs the same victim/noisy schedule with QoS off (FIFO event loop)
+    and on (weighted-fair queueing), prints the victim latency
+    scorecard, then — unless ``--no-slo`` — walks through one SLO
+    enforcement actuation.
+    """
+    from repro.analysis.qos import (
+        isolation_table,
+        run_isolation,
+        run_slo_demo,
+        slo_demo_report,
+    )
+
+    result = run_isolation(sessions=args.sessions,
+                           dpus_per_rank=args.dpus_per_rank)
+    print(isolation_table(result))
+    if not args.no_slo:
+        print()
+        print("SLO enforcement walkthrough")
+        print(slo_demo_report(run_slo_demo(
+            sessions=max(2, args.sessions // 2),
+            dpus_per_rank=args.dpus_per_rank)))
+    return 0
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -487,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--profile", choices=["test", "bench"], default="test",
                      help="test = --quick sizing; bench = full")
     ben.set_defaults(fn=cmd_bench)
+
+    qos = sub.add_parser(
+        "qos", help="noisy-neighbor isolation demo (docs/qos.md)")
+    qos.add_argument("--sessions", type=int, default=8,
+                     help="victim/noisy session pairs per arm")
+    qos.add_argument("--dpus-per-rank", type=int, default=60)
+    qos.add_argument("--no-slo", action="store_true",
+                     help="skip the SLO enforcement walkthrough")
+    qos.set_defaults(fn=cmd_qos)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

@@ -91,6 +91,40 @@ class Consolidator:
         self.scheduler.refresh_host_gauges(donor)
         return moved
 
+    def relieve(self, tenants: List[str]) -> int:
+        """SLO-driven migration hints (``repro.qos.slo``): move a burning
+        tenant's placements away from their noisy neighbors.
+
+        Receivers are ranked by co-residency first (an empty host
+        isolates the victim completely), then fullest-first among
+        equally quiet hosts; a hint with no quieter home than the
+        current host is dropped — the enforcer re-issues it on the next
+        hot evaluation if the burn persists.  Returns migrated devices.
+        """
+        moved = 0
+        for tenant in tenants:
+            for placement in list(self.scheduler.active):
+                if placement.tenant != tenant:
+                    continue
+                if not self._migratable(placement):
+                    continue
+                donor = placement.host
+                neighbors_now = len(self.scheduler.active_on(donor)) - 1
+                candidates = [
+                    host for host in self.cluster.hosts
+                    if host is not donor and host.alive
+                    and host.free_ranks() >= placement.nr_ranks
+                    and len(self.scheduler.active_on(host)) < neighbors_now]
+                if not candidates:
+                    continue
+                receiver = min(
+                    candidates,
+                    key=lambda host: (len(self.scheduler.active_on(host)),
+                                      host.free_ranks()))
+                moved += self._move(placement, donor, receiver)
+                self.scheduler.refresh_host_gauges(donor)
+        return moved
+
     def _plan_drain(self, donor: ClusterHost, placements: List[Placement],
                     ) -> Optional[List[Tuple[Placement, ClusterHost]]]:
         """Match each placement to a receiver, or ``None`` if undrainable.

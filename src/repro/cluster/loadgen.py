@@ -27,6 +27,8 @@ from repro.cluster.consolidator import Consolidator
 from repro.cluster.scheduler import Placement, Scheduler, TenantRequest
 from repro.core.session import ExecutionSession
 from repro.errors import ClusterError
+from repro.qos.config import FleetQosPolicy
+from repro.qos.slo import SloEnforcer, SloTracker
 from repro.virt.transport import VirtTransport
 
 #: Small, verification-cheap PrIM apps the generator draws from.
@@ -62,6 +64,11 @@ class ScenarioConfig:
     queue_limit: int = 16
     tenant_quota_ranks: Optional[int] = None
     consolidate_every_s: float = 0.0   #: 0 disables the consolidator
+    #: Fleet-wide QoS policy (``docs/qos.md``): per-class flow configs
+    #: for every placed VM plus optional SLO objectives the enforcer
+    #: actuates during the run.  ``None`` = no QoS, the exact pre-QoS
+    #: event sequence.
+    qos: Optional[FleetQosPolicy] = None
     seed: int = 0
 
     def effective_rank_choices(self) -> Tuple[int, ...]:
@@ -117,6 +124,9 @@ class ScenarioResult:
     completions: int = 0
     migrations: int = 0
     hosts_drained: int = 0
+    #: SLO-enforcement actions taken during the run (weight boosts,
+    #: throttles, migration hints), in actuation order.
+    slo_actions: List[Tuple[str, str]] = field(default_factory=list)
     makespan_s: float = 0.0
     #: Time integral of allocated ranks (piecewise-constant between
     #: events), for the mean-utilization figure.
@@ -150,8 +160,18 @@ class LoadGenerator:
         self.scheduler = Scheduler(
             self.cluster, policy=config.policy,
             queue_limit=config.queue_limit,
-            tenant_quota_ranks=config.tenant_quota_ranks)
+            tenant_quota_ranks=config.tenant_quota_ranks,
+            qos=config.qos)
         self.consolidator = Consolidator(self.cluster, self.scheduler)
+        #: SLO machinery (``repro.qos.slo``), armed only when the
+        #: scenario's QoS policy declares objectives.
+        self.slo_tracker: Optional[SloTracker] = None
+        self.slo_enforcer: Optional[SloEnforcer] = None
+        if config.qos is not None and config.qos.objectives:
+            self.slo_tracker = SloTracker(metrics=self.cluster.metrics)
+            self.slo_enforcer = SloEnforcer(
+                self.slo_tracker, config.qos.objectives,
+                metrics=self.cluster.metrics)
         self._records: Dict[int, SessionRecord] = {}
         #: Optional per-event callback ``fn(generator)``, invoked after
         #: the clock advances to each event.  This is the fleet-scope
@@ -223,6 +243,16 @@ class LoadGenerator:
                     break
                 self._service(placement, result, events, seq)
 
+            if self.slo_enforcer is not None:
+                actions = self.slo_enforcer.evaluate(clock.now)
+                result.slo_actions.extend(
+                    (action.tenant, action.action) for action in actions)
+                hints = self.slo_enforcer.take_migration_hints()
+                if hints:
+                    # Actuation of last resort: re-home the burning
+                    # tenant away from its noisy neighbors.
+                    self.consolidator.relieve(hints)
+
             last_allocated = self.cluster.allocated_ranks()
             for host in self.cluster.hosts:
                 self.scheduler.refresh_host_gauges(host)
@@ -252,6 +282,10 @@ class LoadGenerator:
             # Evicted by a host crash before departing; the request was
             # requeued and will depart under its replacement placement.
             return
+        if (self.slo_enforcer is not None
+                and placement.vm.qos_flow is not None):
+            self.slo_enforcer.unbind(placement.tenant,
+                                     placement.vm.qos_flow)
         self.scheduler.release(placement)
         record = self._records[placement.request.request_id]
         record.outcome = "completed"
@@ -266,15 +300,24 @@ class LoadGenerator:
         record.wait_s = placement.placed_at - request.arrival_time
         result.waits.append(record.wait_s)
         result.placements += 1
+        flow = placement.vm.qos_flow
+        if self.slo_enforcer is not None and flow is not None:
+            self.slo_enforcer.bind(request.tenant, flow,
+                                   host_id=placement.host.host_id)
         if request.app is not None:
-            record.verified = self._run_app(placement)
+            report = self._run_app(placement)
+            record.verified = report.verified
+            if self.slo_tracker is not None:
+                self.slo_tracker.observe_session(
+                    request.tenant, report.total_time,
+                    self.cluster.clock.now)
         # Residency: the tenant keeps its devices linked until departure.
         placement.acquire()
         departs_at = self.cluster.clock.now + request.hold_s
         heapq.heappush(events, (departs_at, next(seq), "departure",
                                 placement))
 
-    def _run_app(self, placement: Placement) -> bool:
+    def _run_app(self, placement: Placement):
         from repro.apps.registry import app_by_short_name
 
         request = placement.request
@@ -285,8 +328,7 @@ class LoadGenerator:
         session = ExecutionSession(
             VirtTransport(placement.vm),
             mode=f"fleet/{self.scheduler.policy.name}", vm=placement.vm)
-        report = session.run(app)
-        return report.verified
+        return session.run(app)
 
 
 def run_scenario(config: ScenarioConfig) -> Tuple[ScenarioResult, Cluster]:

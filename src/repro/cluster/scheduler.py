@@ -14,7 +14,7 @@ the §3.3 "vUPMEM booking" path, now multiplied across hosts.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Union
 
 from repro.cluster.cluster import Cluster
@@ -22,7 +22,9 @@ from repro.cluster.host import ClusterHost
 from repro.errors import AdmissionError, HostCrashedError
 from repro.cluster.policies import PlacementPolicy, make_policy
 from repro.observability.instruments import ClusterInstruments
+from repro.qos.config import FleetQosPolicy
 from repro.virt.firecracker import VmConfig
+from repro.virt.opts import OptimizationConfig
 from repro.virt.vm import Vm
 
 #: Deadline classes, in dispatch-priority order.
@@ -103,7 +105,8 @@ class Scheduler:
                  queue_limit: int = 16,
                  tenant_quota_ranks: Optional[int] = None,
                  vm_vcpus: int = 4,
-                 vm_mem_bytes: int = 1 << 30) -> None:
+                 vm_mem_bytes: int = 1 << 30,
+                 qos: Optional[FleetQosPolicy] = None) -> None:
         self.cluster = cluster
         self.policy = (make_policy(policy) if isinstance(policy, str)
                        else policy)
@@ -111,6 +114,11 @@ class Scheduler:
         self.tenant_quota_ranks = tenant_quota_ranks
         self.vm_vcpus = vm_vcpus
         self.vm_mem_bytes = vm_mem_bytes
+        #: Fleet-wide QoS policy (``docs/qos.md``): when set, every placed
+        #: VM gets a per-deadline-class :class:`~repro.qos.config.QosConfig`
+        #: (tenant-tagged) in its optimization config.  ``None`` boots VMs
+        #: with no flow — the exact pre-QoS fleet behaviour.
+        self.qos = qos
         #: Pending requests, FIFO within deadline class, interactive first.
         self.queue: List[TenantRequest] = []
         self.active: List[Placement] = []
@@ -195,7 +203,8 @@ class Scheduler:
                          tenant=request.tenant, nr_ranks=request.nr_ranks):
             vm = host.firecracker.launch_vm(VmConfig(
                 vcpus=self.vm_vcpus, mem_bytes=self.vm_mem_bytes,
-                nr_vupmem=request.nr_ranks))
+                nr_vupmem=request.nr_ranks,
+                opts=self._opts_for(request)))
             spans.log.emit("placement", "cluster", tenant=request.tenant,
                            host=host.host_id, vm=vm.vm_id,
                            nr_ranks=request.nr_ranks)
@@ -206,6 +215,19 @@ class Scheduler:
         self.obs.placement(host.host_id, wait)
         self.obs.queue_depth(len(self.queue))
         return placement
+
+    def _opts_for(self, request: TenantRequest) -> OptimizationConfig:
+        """The optimization config a placed VM boots with.
+
+        With a fleet QoS policy, the deadline class picks the
+        :class:`~repro.qos.config.QosConfig` (interactive flows weigh
+        more than batch by default) and the flow is tagged with the
+        requesting tenant so SLO burn aggregates across the tenant's VMs.
+        """
+        if self.qos is None:
+            return OptimizationConfig()
+        cfg = self.qos.for_class(request.deadline_class)
+        return OptimizationConfig(qos=replace(cfg, tenant=request.tenant))
 
     def release(self, placement: Placement) -> None:
         """Tenant departure: tear the VM down and return its ranks."""

@@ -268,6 +268,40 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "Hosts whose last allocated rank was migrated away",
         (), paper="§7 (consolidation frees whole hosts)"),
 
+    # -- QoS: weighted-fair bus arbitration + SLO layer (repro.qos) ----------
+    MetricSpec(
+        "repro_qos_arbitrations_total", "counter",
+        "Bus/event-loop arbitration decisions per flow, by scheduling mode",
+        ("vm", "mode"), paper="§6 R2 (multi-tenant isolation; docs/qos.md)"),
+    MetricSpec(
+        "repro_qos_arbitration_wait_seconds", "histogram",
+        "Modeled per-operation delay from sharing the host bus, by cause",
+        ("vm", "cause"), paper="Fig. 16 (bus contention; docs/qos.md)"),
+    MetricSpec(
+        "repro_qos_throttled_total", "counter",
+        "Token-bucket throttle events per flow, by resource",
+        ("vm", "resource"), paper="docs/qos.md (token buckets)"),
+    MetricSpec(
+        "repro_qos_throttle_wait_seconds", "histogram",
+        "Modeled wait imposed by token-bucket throttles, by resource",
+        ("vm", "resource"), paper="docs/qos.md (token buckets)"),
+    MetricSpec(
+        "repro_qos_flow_weight", "gauge",
+        "Current weighted-fair-queueing weight of each registered flow",
+        ("vm",), paper="docs/qos.md (WFQ weights)"),
+    MetricSpec(
+        "repro_qos_slo_burn_rate", "gauge",
+        "Observed/target ratio per tenant objective (>1 = burning hot)",
+        ("tenant", "objective"), paper="docs/qos.md (SLO layer)"),
+    MetricSpec(
+        "repro_qos_slo_violations_total", "counter",
+        "Enforcement passes that found a tenant objective burning hot",
+        ("tenant", "objective"), paper="docs/qos.md (SLO layer)"),
+    MetricSpec(
+        "repro_qos_slo_actuations_total", "counter",
+        "SLO enforcement actions taken, by action kind",
+        ("tenant", "action"), paper="docs/qos.md (actuation ladder)"),
+
     # -- fault injection & recovery (repro.faults) ---------------------------
     MetricSpec(
         "repro_fault_injected_total", "counter",

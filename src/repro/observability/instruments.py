@@ -343,6 +343,59 @@ class ClusterInstruments:
         self._drained.inc()
 
 
+class QosInstruments:
+    """Telemetry of one QoS flow (``repro.qos``; one binding per VM)."""
+
+    def __init__(self, registry: MetricsRegistry, flow_id: str) -> None:
+        self.registry = registry
+        ids = dict(vm=flow_id)
+        self._arbitrations = instrument(registry,
+                                        "repro_qos_arbitrations_total")
+        self._arbitration_wait = instrument(
+            registry, "repro_qos_arbitration_wait_seconds")
+        self._throttled = instrument(registry, "repro_qos_throttled_total")
+        self._throttle_wait = instrument(
+            registry, "repro_qos_throttle_wait_seconds")
+        self._weight = instrument(
+            registry, "repro_qos_flow_weight").labels(**ids)
+        self._ids = ids
+
+    def arbitration(self, mode: str, wait_seconds: float,
+                    cause: str) -> None:
+        self._arbitrations.labels(mode=mode, **self._ids).inc()
+        self._arbitration_wait.labels(cause=cause,
+                                      **self._ids).observe(wait_seconds)
+
+    def throttled(self, resource: str, wait_seconds: float) -> None:
+        self._throttled.labels(resource=resource, **self._ids).inc()
+        self._throttle_wait.labels(resource=resource,
+                                   **self._ids).observe(wait_seconds)
+
+    def weight(self, value: float) -> None:
+        self._weight.set(value)
+
+
+class SloInstruments:
+    """Telemetry of the SLO tracker/enforcer (``repro.qos.slo``)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._burn = instrument(registry, "repro_qos_slo_burn_rate")
+        self._violations = instrument(registry,
+                                      "repro_qos_slo_violations_total")
+        self._actuations = instrument(registry,
+                                      "repro_qos_slo_actuations_total")
+
+    def burn(self, tenant: str, objective: str, value: float) -> None:
+        self._burn.labels(tenant=tenant, objective=objective).set(value)
+
+    def violation(self, tenant: str, objective: str) -> None:
+        self._violations.labels(tenant=tenant, objective=objective).inc()
+
+    def actuation(self, tenant: str, action: str) -> None:
+        self._actuations.labels(tenant=tenant, action=action).inc()
+
+
 class FaultInstruments:
     """Telemetry of the fault-injection and recovery subsystem.
 

@@ -1,0 +1,33 @@
+"""Multi-tenant performance isolation (QoS) for co-resident vUPMEM VMs.
+
+The paper's R2 motivation (many tenants multiplex one PIM server) stops
+at allocation-time arbitration: the Manager hands out ranks, but once
+placed, co-resident VMs contend freely on the host bus and the
+Firecracker event loop.  ``repro.qos`` turns the fleet's deadline
+classes into *enforced* per-tenant isolation (``docs/qos.md``):
+
+- :class:`~repro.qos.config.QosConfig` — opt-in per-VM policy
+  (``Optimization(qos=QosConfig(...))``); ``None`` keeps every default
+  path bit-identical to the committed wall-clock digest;
+- :class:`~repro.hardware.timing.BandwidthArbiter` — the shared bus as
+  a weighted-fair resource across registered flows;
+- :class:`~repro.qos.flow.QosFlow` — one VM's flow handle: event-loop
+  dispatch, token-bucket throttles, telemetry;
+- :mod:`repro.qos.slo` — declared latency/throughput objectives, burn
+  tracking, and weight/throttle/migration actuation.
+"""
+
+from repro.qos.config import FleetQosPolicy, QosConfig
+from repro.qos.flow import QosFlow
+from repro.qos.slo import SloEnforcer, SloObjective, SloTracker
+from repro.qos.tokens import TokenBucket
+
+__all__ = [
+    "FleetQosPolicy",
+    "QosConfig",
+    "QosFlow",
+    "SloEnforcer",
+    "SloObjective",
+    "SloTracker",
+    "TokenBucket",
+]

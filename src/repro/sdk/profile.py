@@ -32,7 +32,9 @@ OP_CI = "CI"
 #: the data transfer to UPMEM.  "Cache" is the content-aware transfer
 #: cache's digest/probe cost — only ever recorded when
 #: ``Optimization(cache=True)`` is on, so Fig. 13 runs never see it.
-WRANK_STEPS = ("Page", "Ser", "Int", "Deser", "T-data", "Cache")
+#: "QoS" is likewise opt-in: cross-VM throttle and queueing waits, only
+#: recorded when the VM carries a ``QosConfig`` (``docs/qos.md``).
+WRANK_STEPS = ("Page", "Ser", "Int", "Deser", "T-data", "Cache", "QoS")
 
 
 @dataclass

@@ -129,7 +129,8 @@ class VUpmemBackend:
                  worker_threads: int = BACKEND_WORKER_THREADS,
                  metrics: Optional[MetricsRegistry] = None,
                  spans: Optional[SpanRecorder] = None,
-                 cache_enabled: bool = False) -> None:
+                 cache_enabled: bool = False,
+                 qos=None) -> None:
         self.device_id = device_id
         self.driver = driver
         self.memory = guest_memory
@@ -141,6 +142,11 @@ class VUpmemBackend:
         #: resident-extent digests validating SKIPs, broadcast dedup,
         #: launch-time dirty collection.
         self.cache_enabled = cache_enabled
+        #: The owning VM's :class:`~repro.qos.flow.QosFlow` (``docs/qos.md``):
+        #: when set, data transfers pay a modeled bus share for co-resident
+        #: demand and report their own usage to the arbiter.  ``None`` keeps
+        #: the exact single-tenant timing path.
+        self.qos = qos
         self.resident = ExtentDigestIndex()
         self.mapping: Optional[PerfModeMapping] = None
         self.requests_processed = 0
@@ -337,6 +343,7 @@ class VUpmemBackend:
                                     header.offset, entry.size, entry.digest)
                 self.obs.bufpool_reuse(pool.reuse_count - reuse0)
                 self.obs.interleave(tdata)
+                tdata += self._bus_share(tdata)
                 steps = {"Deser": deser_time + translate_time,
                          "T-data": tdata}
                 duration = deser_time + translate_time + dispatch_time + tdata
@@ -357,6 +364,7 @@ class VUpmemBackend:
                         pool.release(buf)
                 self.obs.bufpool_reuse(pool.reuse_count - reuse0)
                 self.obs.interleave(tdata)
+                tdata += self._bus_share(tdata)
                 steps = {"Deser": deser_time + translate_time,
                          "T-data": tdata}
                 duration = deser_time + translate_time + dispatch_time + tdata
@@ -372,6 +380,18 @@ class VUpmemBackend:
                 pool.release(buf)
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _bus_share(self, bus_seconds: float) -> float:
+        """Modeled stretch of a bus occupancy from co-resident demand.
+
+        Folded into the T-data step so per-step breakdowns show the
+        contention as data-path elongation (the shape of Fig. 16), not
+        a synthetic extra phase.  Also reports this device's own usage
+        to the arbiter's demand window.
+        """
+        if self.qos is None:
+            return 0.0
+        return self.qos.on_bus(bus_seconds, self.driver.machine.clock.now)
 
     def _rebuild_matrix(self, header: RequestHeader,
                         entries: List[SerializedEntry],

@@ -24,8 +24,9 @@ from typing import Optional
 from repro.errors import VmConfigError
 from repro.driver.driver import UpmemDriver
 from repro.hardware.machine import Machine
-from repro.hardware.timing import CostModel
+from repro.hardware.timing import BandwidthArbiter, CostModel
 from repro.observability.instruments import VmInstruments
+from repro.qos.flow import QosFlow
 from repro.sdk.profile import Profiler
 from repro.virt.backend import VUpmemBackend
 from repro.virt.frontend import VUpmemFrontend
@@ -69,6 +70,40 @@ class VmConfig:
             raise VmConfigError("a kernel image path is required")
 
 
+class VirtioEventLoop:
+    """Cross-VM request scheduling in the (shared) Firecracker event loop.
+
+    Originally the event loop serves virtio kicks in FIFO arrival order,
+    so one tenant's bulk transfer head-of-line-blocks every co-resident
+    small request.  With QoS enforced, the next request is picked by
+    **virtual finish time**: each flow's virtual clock advances by
+    ``service / weight`` per dispatch, and the wait a request pays is
+    capped at one service quantum per busy neighbor (the arbiter's WFQ
+    mode).  The loop keeps the per-flow virtual-time bookkeeping and
+    dispatch counters; the delay arithmetic lives in the arbiter so both
+    views (event loop and bus) share one demand model.
+    """
+
+    def __init__(self, arbiter: BandwidthArbiter) -> None:
+        self.arbiter = arbiter
+        self.virtual_now = 0.0
+        self.dispatches = {"fifo": 0, "wfq": 0}
+
+    def dispatch(self, flow_id: str, now: float,
+                 fair: bool) -> "tuple[float, str]":
+        """Pick-order cost of serving ``flow_id``'s next request at
+        ``now``; returns ``(queue_delay_s, mode)``."""
+        delay = self.arbiter.queue_delay(flow_id, now, fair)
+        flow = self.arbiter.flow(flow_id)
+        service = self.arbiter.mean_op_s(flow)
+        start = max(flow.virtual_finish, self.virtual_now)
+        flow.virtual_finish = start + service / flow.weight
+        self.virtual_now = max(self.virtual_now, start)
+        mode = "wfq" if fair else "fifo"
+        self.dispatches[mode] += 1
+        return delay, mode
+
+
 class Firecracker:
     """One Firecracker process per VM; this class is the factory side.
 
@@ -90,6 +125,9 @@ class Firecracker:
         self._vm_ids = itertools.count()
         #: Live telemetry (shares the machine registry): boots + devices.
         self.obs = VmInstruments(machine.metrics)
+        #: The host-wide request scheduler across co-resident VMs' queues
+        #: (``repro.qos``); inert until a VM registers a flow.
+        self.event_loop = VirtioEventLoop(machine.bus_arbiter)
 
     def launch_vm(self, config: VmConfig) -> Vm:
         """Boot a microVM with the requested vUPMEM devices attached."""
@@ -101,6 +139,13 @@ class Firecracker:
         vm = Vm(vm_id=vm_id, config=config, machine=self.machine,
                 memory=memory, kvm=kvm, profiler=profiler,
                 manager=self.manager)
+        if config.opts.qos is not None:
+            # One flow per VM: all of the VM's devices share its weight,
+            # throttles and demand window (per-tenant isolation).
+            vm.qos_flow = QosFlow(
+                flow_id=vm_id, config=config.opts.qos,
+                arbiter=self.machine.bus_arbiter, loop=self.event_loop,
+                metrics=self.machine.metrics, spans=self.machine.spans)
 
         boot_time = BASE_BOOT_TIME
         for i in range(config.nr_vupmem):
@@ -110,7 +155,7 @@ class Firecracker:
                 device_id=device_id, driver=self.driver, guest_memory=memory,
                 cost=self.cost, rust_data_path=not config.opts.c_enhancement,
                 metrics=self.machine.metrics, spans=self.machine.spans,
-                cache_enabled=config.opts.cache,
+                cache_enabled=config.opts.cache, qos=vm.qos_flow,
             )
             # One MMIO window + IRQ per device, passed to the guest on
             # the kernel command line (Section 3.2).
@@ -130,6 +175,7 @@ class Firecracker:
                 backend=backend, kvm=kvm, opts=config.opts, cost=self.cost,
                 profiler=profiler, mmio=mmio,
                 metrics=self.machine.metrics, spans=self.machine.spans,
+                qos=vm.qos_flow,
             )
             vm.devices.append(VUpmemDevice(device_id=device_id,
                                            frontend=frontend,

@@ -146,7 +146,8 @@ class VUpmemFrontend:
                  profiler: Profiler,
                  mmio: Optional[MmioWindow] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 spans: Optional[SpanRecorder] = None) -> None:
+                 spans: Optional[SpanRecorder] = None,
+                 qos=None) -> None:
         self.device_id = device_id
         self.queues = queues
         self.memory = memory
@@ -163,6 +164,18 @@ class VUpmemFrontend:
         #: bit-identical to the committed wall-clock digest.
         self.digests: Optional[ExtentDigestIndex] = (
             ExtentDigestIndex() if opts.cache else None)
+        #: Adaptive digest bypass (``docs/transfer_cache.md``): once the
+        #: observed suppression rate over at least
+        #: ``opts.cache_bypass_min_probes`` probes stays below
+        #: ``opts.cache_bypass_hit_rate``, digesting stops — workloads
+        #: that never rewrite identical content stop paying digest cost.
+        self._digest_probes = 0
+        self._digest_hits = 0
+        self._digest_bypassed = False
+        #: The owning VM's :class:`~repro.qos.flow.QosFlow` (``docs/qos.md``):
+        #: kicks pay token-bucket throttle waits and the event loop's
+        #: cross-VM queueing delay.  ``None`` = the exact default path.
+        self.qos = qos
         self.device_config: Optional[dict] = None
         self.mmio = mmio or MmioWindow(base_address=0xD000_0000, irq=5)
         #: Live telemetry (cache hits/misses, flush reasons, request
@@ -291,7 +304,8 @@ class VUpmemFrontend:
                          pages=pages)
         self.spans.event("frontend.serialize", "frontend", ser_time,
                          pages=pages)
-        request_id = self.queues.transferq.add_chain(chain)
+        request_id = self.queues.transferq.add_chain(
+            chain, flow=self.qos.flow_id if self.qos is not None else None)
         self.obs.queue_depth("transferq", self.queues.transferq.pending)
         self.queues.transferq.kick()
         self.obs.kick("transferq")
@@ -305,6 +319,13 @@ class VUpmemFrontend:
             int_time = self.kvm.trap() + self.cost.event_dispatch_cost
         self.spans.event("virtio.kick", "virtio", int_time,
                          queue="transferq")
+        qos_time = 0.0
+        if self.qos is not None:
+            # Cross-VM scheduling: token-bucket throttles plus the event
+            # loop's modeled queueing delay before this kick is served.
+            payload = matrix.total_bytes if matrix is not None else 0
+            qos_time = self.qos.on_kick(header.kind.name.lower(), payload,
+                                        self.profiler.clock.now)
 
         # The device takes the chain before processing; on failure it still
         # completes the request (with an error status) so the queue never
@@ -331,13 +352,16 @@ class VUpmemFrontend:
 
         self.obs.queue_depth("transferq", self.queues.transferq.pending)
         self.profiler.messages.count_request()
-        duration = page_time + ser_time + int_time + result.duration + irq_time
+        duration = (page_time + ser_time + int_time + qos_time
+                    + result.duration + irq_time)
         self.obs.request(header.kind.name.lower(), duration)
 
         if header.kind is RequestKind.WRITE_RANK:
             self.profiler.record_wrank_step("Page", page_time)
             self.profiler.record_wrank_step("Ser", ser_time)
             self.profiler.record_wrank_step("Int", int_time + irq_time)
+            if qos_time > 0.0:
+                self.profiler.record_wrank_step("QoS", qos_time)
             for step, value in result.steps.items():
                 self.profiler.record_wrank_step(step, value)
         return result, duration, sreq
@@ -425,6 +449,33 @@ class VUpmemFrontend:
             self.obs.cache_invalidation(reason,
                                         self.digests.invalidate_all())
 
+    @property
+    def _digesting(self) -> bool:
+        """Whether writes should digest-probe (cache on, not bypassed)."""
+        return self.digests is not None and not self._digest_bypassed
+
+    def _maybe_bypass(self) -> None:
+        """Engage the adaptive bypass when suppression is not paying.
+
+        A workload that never rewrites identical content pays digest cost
+        on every write and saves nothing (the BFS 0.96x of the committed
+        ablation); once enough probes show a hit rate below the threshold,
+        stop digesting.  Only *revisit* probes count — extents that
+        already held a digest, where a hit was possible — so a large
+        cold first write (e.g. one full-rank push is 64 first-touch
+        entries at once) can never trip the bypass before the workload
+        has had a chance to repeat itself.
+        ``cache_bypass_min_probes=0`` disables the bypass.
+        """
+        min_probes = self.opts.cache_bypass_min_probes
+        if (self._digest_bypassed or min_probes <= 0
+                or self._digest_probes < min_probes):
+            return
+        rate = self._digest_hits / self._digest_probes
+        if rate < self.opts.cache_bypass_hit_rate:
+            self._digest_bypassed = True
+            self._invalidate_digests("adaptive_bypass")
+
     def _probe_digests(self, matrix: TransferMatrix,
                        ) -> Tuple[List[DpuEntry], List[SkipExtent],
                                   Dict[int, int], int, float]:
@@ -443,9 +494,13 @@ class VUpmemFrontend:
         digests: Dict[int, int] = {}
         suppressed = 0
         pages = 0
+        revisits = 0
         for entry in matrix.entries:
             digest = content_digest(entry.data)
             pages += self.cost.pages_of(entry.size)
+            if index.has_record(entry.dpu_index, matrix.symbol,
+                                matrix.offset):
+                revisits += 1
             if index.lookup(entry.dpu_index, matrix.symbol, matrix.offset,
                             entry.size, digest):
                 skips.append(SkipExtent(dpu_index=entry.dpu_index,
@@ -456,6 +511,9 @@ class VUpmemFrontend:
                 digests[entry.dpu_index] = digest
         cache_time = (pages * self.cost.digest_per_page
                       + len(matrix.entries) * self.cost.cache_lookup_cost)
+        self._digest_probes += revisits
+        self._digest_hits += len(skips)
+        self._maybe_bypass()
         self.obs.cache_hit(len(skips))
         self.obs.cache_miss(len(kept))
         self.obs.cache_suppressed(suppressed)
@@ -477,7 +535,7 @@ class VUpmemFrontend:
                  and matrix.max_entry_bytes <= SMALL_WRITE_BYTES)
         if self.opts.request_batching and small:
             cache_time = 0.0
-            if self.digests is not None:
+            if self._digesting:
                 kept, _, digests, _, cache_time = self._probe_digests(matrix)
                 if not kept:
                     # Every entry suppressed: nothing enters the batch.
@@ -513,7 +571,7 @@ class VUpmemFrontend:
             return flush_time + copy_time + cache_time
 
         duration = self._flush_batch(reason="large_write")
-        if self.digests is not None:
+        if self._digesting:
             return duration + self._cached_write(matrix)
         header = RequestHeader(kind=RequestKind.WRITE_RANK,
                                offset=matrix.offset, symbol=matrix.symbol)
@@ -612,6 +670,11 @@ class VUpmemFrontend:
         # Loading rebuilds every symbol buffer on the device; digests of
         # the previous program's extents are meaningless afterwards.
         self._invalidate_digests("load")
+        # A new program is a new workload: forget the old suppression
+        # statistics and probe again from scratch.
+        self._digest_probes = 0
+        self._digest_hits = 0
+        self._digest_bypassed = False
         binary_pages = (program.binary_size + PAGE_SIZE - 1) // PAGE_SIZE
         header = RequestHeader(kind=RequestKind.LOAD,
                                program_name=program.name)

@@ -8,9 +8,10 @@ Section 5.4 evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.config import BATCH_PAGES_PER_DPU, PREFETCH_PAGES_PER_DPU
+from repro.qos.config import QosConfig
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,28 @@ class OptimizationConfig:
     #: committed wall-clock digest stays bit-identical.
     cache: bool = False
 
+    #: Multi-tenant performance isolation (``docs/qos.md``): a
+    #: :class:`~repro.qos.config.QosConfig` registers the VM as a flow on
+    #: the host's :class:`~repro.hardware.timing.BandwidthArbiter` and
+    #: (when ``enforce``) schedules its virtio requests weighted-fair
+    #: with token-bucket throttles.  ``None`` (the default) models no
+    #: cross-VM contention at all — bit-identical to the committed
+    #: wall-clock digest.
+    qos: Optional[QosConfig] = None
+
     prefetch_pages_per_dpu: int = PREFETCH_PAGES_PER_DPU
     batch_pages_per_dpu: int = BATCH_PAGES_PER_DPU
+
+    #: Transfer-cache adaptive bypass (``docs/transfer_cache.md``): once
+    #: the frontend has probed at least ``cache_bypass_min_probes``
+    #: *revisited* extents (ones that already held a digest — first
+    #: touches can never hit and carry no signal) with a hit rate below
+    #: ``cache_bypass_hit_rate``, it stops digesting entirely (a
+    #: workload that never rewrites identical content only pays for
+    #: digests, the BFS 0.96x regression of the committed ablation).
+    #: A threshold of 0 disables the bypass.
+    cache_bypass_min_probes: int = 64
+    cache_bypass_hit_rate: float = 0.02
 
     @property
     def label(self) -> str:
@@ -51,7 +72,11 @@ class OptimizationConfig:
             "M" if self.parallel_handling else "-",
         ])
         label = f"vPIM[{flags}]"
-        return label + "+cache" if self.cache else label
+        if self.cache:
+            label += "+cache"
+        if self.qos is not None:
+            label += "+qos"
+        return label
 
 
 #: Short alias used in examples and docs: ``Optimization(cache=True)``.

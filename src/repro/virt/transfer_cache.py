@@ -84,6 +84,15 @@ class ExtentDigestIndex:
         record = region.get(offset)
         return record is not None and record == (size, digest)
 
+    def has_record(self, dpu_index: int, space: str, offset: int) -> bool:
+        """True iff any digest is recorded at this exact offset.
+
+        A probe here *could* have hit; a first-touch probe cannot, so
+        only these count toward the adaptive-bypass hit-rate window.
+        """
+        region = self._regions.get((dpu_index, space))
+        return region is not None and offset in region
+
     def insert(self, dpu_index: int, space: str, offset: int, size: int,
                digest: int) -> None:
         """Record an extent digest, invalidating overlapping records.

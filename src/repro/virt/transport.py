@@ -109,8 +109,17 @@ class VirtTransport(Transport):
         """VMM-side parallel handling contends harder than native SDK
         threads: the backend's dedicated threads share the memory bus
         *and* the Firecracker process (the ~uniform, elongated blue bars
-        of Fig. 16)."""
-        return self.cost.parallel_contention
+        of Fig. 16).
+
+        With a QoS flow registered, co-resident demand raises the factor
+        further: this VM's own parallel rank operations overlap less well
+        when neighbors occupy the shared bus (``docs/qos.md``).
+        """
+        base = self.cost.parallel_contention
+        flow = self.vm.qos_flow
+        if flow is None:
+            return base
+        return flow.intra_contention(base, self.clock.now)
 
     def alloc_channels(self, nr_dpus: int) -> List[RankChannel]:
         channels: List[RankChannel] = []

@@ -67,8 +67,14 @@ class Virtqueue:
         self.kicks = 0
         self.max_outstanding = 0
 
-    def add_chain(self, chain: List[Descriptor]) -> int:
-        """Post a descriptor chain; returns its request id."""
+    def add_chain(self, chain: List[Descriptor],
+                  flow: Optional[str] = None) -> int:
+        """Post a descriptor chain; returns its request id.
+
+        ``flow`` optionally tags the chain with the posting VM's QoS flow
+        id (``docs/qos.md``), so the shared event loop and debug tooling
+        can attribute queued work per tenant; ``None`` for untagged VMs.
+        """
         if not chain:
             raise VirtqueueError(f"{self.name}: empty descriptor chain")
         if len(chain) > MAX_SERIALIZED_BUFFERS:
@@ -84,9 +90,13 @@ class Virtqueue:
             )
         request_id = self._next_id
         self._next_id += 1
-        self._avail.append((request_id, list(chain)))
+        self._avail.append((request_id, list(chain), flow))
         self.max_outstanding = max(self.max_outstanding, outstanding)
         return request_id
+
+    def pending_for(self, flow: str) -> int:
+        """Queued chains tagged with QoS flow ``flow``."""
+        return sum(1 for item in self._avail if item[2] == flow)
 
     def kick(self) -> None:
         """Guest notifies the device (MMIO write -> VMEXIT)."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import DeviceNotLinkedError
 from repro.hardware.machine import Machine
@@ -15,6 +15,7 @@ from repro.virt.kvm import Kvm
 from repro.virt.virtio import VirtioPimQueues
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.qos.flow import QosFlow
     from repro.virt.firecracker import VmConfig
     from repro.virt.manager import Manager
 
@@ -49,6 +50,9 @@ class Vm:
     manager: "Manager"
     devices: List[VUpmemDevice] = field(default_factory=list)
     boot_time: float = 0.0
+    #: The VM's QoS flow (``Optimization(qos=...)``); ``None`` = no flow
+    #: registered, no arbitration, the exact default timing path.
+    qos_flow: Optional["QosFlow"] = None
     #: Kernel command-line fragments describing the virtio devices
     #: (Section 3.2: how the guest learns MMIO regions and IRQs).
     kernel_cmdline: List[str] = field(default_factory=list)
@@ -86,3 +90,7 @@ class Vm:
         for device in self.devices:
             if device.linked:
                 device.backend.unlink()
+        if self.qos_flow is not None:
+            # Departed tenants stop contending: the flow leaves the
+            # arbiter so survivors no longer pay for its demand.
+            self.qos_flow.close()

@@ -1,0 +1,94 @@
+"""Fleet-level QoS: scheduler stamping, SLO loop, migration relief."""
+
+from repro.cluster import (Cluster, ClusterConfig, Consolidator, Scheduler,
+                           ScenarioConfig, TenantRequest)
+from repro.cluster.loadgen import run_scenario
+from repro.qos.config import FleetQosPolicy, QosConfig
+from repro.qos.slo import SloObjective
+
+SMALL_FLEET = ClusterConfig(nr_hosts=3, ranks_per_host=2, dpus_per_rank=4)
+
+
+def test_scheduler_stamps_the_class_config():
+    cluster = Cluster(SMALL_FLEET)
+    policy = FleetQosPolicy(interactive=QosConfig(weight=8.0),
+                            batch=QosConfig(weight=1.0))
+    scheduler = Scheduler(cluster, policy="best_fit", qos=policy)
+    scheduler.submit(TenantRequest(tenant="t-hot",
+                                   deadline_class="interactive"))
+    hot = scheduler.try_place_next()
+    hot.acquire()
+    assert hot.vm.qos_flow is not None
+    assert hot.vm.qos_flow.weight == 8.0
+    assert hot.vm.qos_flow.tenant == "t-hot"
+
+    scheduler.submit(TenantRequest(tenant="t-bulk",
+                                   deadline_class="batch"))
+    bulk = scheduler.try_place_next()
+    bulk.acquire()
+    assert bulk.vm.qos_flow.weight == 1.0
+    assert bulk.vm.qos_flow.tenant == "t-bulk"
+
+
+def test_scheduler_without_policy_leaves_vms_unflowed():
+    cluster = Cluster(SMALL_FLEET)
+    scheduler = Scheduler(cluster, policy="best_fit")
+    scheduler.submit(TenantRequest(tenant="t"))
+    placement = scheduler.try_place_next()
+    placement.acquire()
+    assert placement.vm.qos_flow is None
+
+
+def test_scenario_with_slo_objectives_actuates():
+    objective = SloObjective(tenant="t0", latency_p99_s=1e-6, window=2)
+    config = ScenarioConfig(cluster=SMALL_FLEET, nr_requests=8,
+                            arrival_rate=2.0, mean_hold_s=1.0, seed=3,
+                            qos=FleetQosPolicy(objectives=(objective,)))
+    result, cluster = run_scenario(config)
+    # The impossible objective burns hot on every evaluation: the
+    # enforcer escalates and its actions are visible in the result and
+    # the cluster-level metric families.
+    assert any(tenant == "t0" for tenant, _ in result.slo_actions)
+    actions = {action for _, action in result.slo_actions}
+    assert "boost_weight" in actions
+    assert cluster.metrics.value("repro_qos_slo_burn_rate",
+                                 tenant="t0", objective="latency") > 1.0
+    assert cluster.metrics.value("repro_qos_slo_violations_total",
+                                 tenant="t0", objective="latency") > 0
+
+
+def test_scenario_without_qos_takes_no_actions():
+    config = ScenarioConfig(cluster=SMALL_FLEET, nr_requests=8,
+                            arrival_rate=2.0, mean_hold_s=1.0, seed=3)
+    result, cluster = run_scenario(config)
+    assert result.slo_actions == []
+    assert "repro_qos_slo_burn_rate" not in cluster.metrics
+
+
+def test_relieve_rehomes_the_hinted_tenant():
+    cluster = Cluster(SMALL_FLEET)
+    # best_fit packs both tenants onto the same (fullest) host.
+    scheduler = Scheduler(cluster, policy="best_fit")
+    placements = {}
+    for tenant in ("victim", "noisy"):
+        scheduler.submit(TenantRequest(tenant=tenant))
+        placement = scheduler.try_place_next()
+        placement.acquire()
+        placements[tenant] = placement
+    assert placements["victim"].host is placements["noisy"].host
+
+    consolidator = Consolidator(cluster, scheduler)
+    assert consolidator.relieve(["victim"]) == 1
+    assert placements["victim"].host is not placements["noisy"].host
+
+
+def test_relieve_drops_hints_with_no_quieter_home():
+    # One host only: there is nowhere quieter to go.
+    cluster = Cluster(ClusterConfig(nr_hosts=1, ranks_per_host=2,
+                                    dpus_per_rank=4))
+    scheduler = Scheduler(cluster, policy="best_fit")
+    for tenant in ("victim", "noisy"):
+        scheduler.submit(TenantRequest(tenant=tenant))
+        scheduler.try_place_next().acquire()
+    consolidator = Consolidator(cluster, scheduler)
+    assert consolidator.relieve(["victim"]) == 0

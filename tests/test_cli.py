@@ -126,6 +126,24 @@ def test_cluster_metrics_output(capsys, tmp_path):
     assert "repro_cluster_queue_wait_seconds" in text
 
 
+def test_qos_isolation_demo(capsys):
+    code, out = run_cli(capsys, "qos", "--sessions", "2",
+                        "--dpus-per-rank", "8", "--no-slo")
+    assert code == 0
+    assert "Noisy neighbor" in out
+    assert "victim p99 improvement" in out
+    assert "SLO enforcement" not in out
+
+
+def test_qos_demo_with_slo_walkthrough(capsys):
+    code, out = run_cli(capsys, "qos", "--sessions", "2",
+                        "--dpus-per-rank", "8")
+    assert code == 0
+    assert "SLO enforcement walkthrough" in out
+    assert "burn rate before actuation" in out
+    assert "burn rate after actuation" in out
+
+
 def test_cluster_unknown_policy_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["cluster", "--policy", "first_fit"])

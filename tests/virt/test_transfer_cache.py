@@ -312,6 +312,93 @@ class TestInvalidation:
             assert np.array_equal(dpus.copy_from_mram(0, 0, buf.size), buf)
 
 
+# -- VM level: adaptive digest bypass ----------------------------------------
+
+class TestAdaptiveBypass:
+    def test_churn_write_stream_stops_digesting(self):
+        vpim, session = make_session(cache=True, cache_bypass_min_probes=8)
+        with DpuSet(session.transport, 4) as dpus:
+            for i in range(10):
+                buf = np.full(256, i + 1, dtype=np.uint8)
+                dpus.copy_to_mram(0, 0, buf)
+            # Ten rewrites of one extent, every one with fresh content:
+            # nine *revisit* probes, zero hits — past the 8-probe window
+            # the frontend gives up digesting this workload (the metric
+            # counts the records dropped by the invalidation).
+            dropped = cache_metric(vpim,
+                                   "repro_xfer_cache_invalidations_total",
+                                   reason="adaptive_bypass")
+            assert dropped >= 1
+            # From here on, a duplicate write is no longer suppressed,
+            # and the bypass does not re-fire.
+            buf = np.full(256, 10, dtype=np.uint8)
+            dpus.copy_to_mram(0, 0, buf)
+            assert cache_metric(vpim, "repro_xfer_cache_hits_total") == 0
+            assert cache_metric(vpim,
+                                "repro_xfer_cache_invalidations_total",
+                                reason="adaptive_bypass") == dropped
+            # Correctness is untouched.
+            got = dpus.copy_from_mram(0, 0, 256)
+            assert np.array_equal(got, buf)
+
+    def test_first_touch_writes_never_trip_the_bypass(self):
+        # A cold sweep over many distinct extents (a big first push of
+        # input data) carries no signal: those probes could never have
+        # hit, so they must not count toward the bypass window.
+        vpim, session = make_session(cache=True, cache_bypass_min_probes=8)
+        buf = (np.arange(256) % 97).astype(np.uint8)
+        with DpuSet(session.transport, 4) as dpus:
+            for i in range(32):
+                dpus.copy_to_mram(0, i * 256,
+                                  np.full(256, (i % 250) + 1, dtype=np.uint8))
+            assert cache_metric(vpim, "repro_xfer_cache_invalidations_total",
+                                reason="adaptive_bypass") == 0
+            # The cache is still engaged: a repeat suppresses.
+            dpus.copy_to_mram(0, 32 * 256, buf)
+            dpus.copy_to_mram(0, 32 * 256, buf)
+            assert cache_metric(vpim, "repro_xfer_cache_hits_total") == 1
+
+    def test_hit_stream_keeps_the_cache_engaged(self):
+        vpim, session = make_session(cache=True, cache_bypass_min_probes=8)
+        buf = (np.arange(256) % 97).astype(np.uint8)
+        with DpuSet(session.transport, 4) as dpus:
+            for _ in range(12):
+                dpus.copy_to_mram(0, 0, buf)
+            assert cache_metric(vpim, "repro_xfer_cache_invalidations_total",
+                                reason="adaptive_bypass") == 0
+            assert cache_metric(vpim, "repro_xfer_cache_hits_total") == 11
+
+    def test_load_resets_the_bypass(self):
+        vpim, session = make_session(cache=True, cache_bypass_min_probes=8)
+        buf = (np.arange(256) % 89).astype(np.uint8)
+        with DpuSet(session.transport, 4) as dpus:
+            for i in range(10):
+                dpus.copy_to_mram(0, 0,
+                                  np.full(256, i + 1, dtype=np.uint8))
+            assert cache_metric(vpim, "repro_xfer_cache_invalidations_total",
+                                reason="adaptive_bypass") >= 1
+            # A program load starts a new phase: digesting resumes and a
+            # repeated write suppresses again.
+            dpus.load(KernelWriter())
+            dpus.copy_to_mram(0, 0, buf)
+            dpus.copy_to_mram(0, 0, buf)
+            assert cache_metric(vpim, "repro_xfer_cache_hits_total") == 1
+
+    def test_min_probes_zero_disables_the_bypass(self):
+        vpim, session = make_session(cache=True, cache_bypass_min_probes=0)
+        with DpuSet(session.transport, 4) as dpus:
+            for i in range(80):
+                dpus.copy_to_mram(0, (i % 20) * 256,
+                                  np.full(256, (i * 7 + 1) % 251,
+                                          dtype=np.uint8))
+            assert cache_metric(vpim, "repro_xfer_cache_invalidations_total",
+                                reason="adaptive_bypass") == 0
+            buf = np.full(256, 42, dtype=np.uint8)
+            dpus.copy_to_mram(0, 0, buf)
+            dpus.copy_to_mram(0, 0, buf)
+            assert cache_metric(vpim, "repro_xfer_cache_hits_total") >= 1
+
+
 # -- property level: cache-on is byte-identical to cache-off -----------------
 
 #: One operation: (dpu, slot, size index, payload seed, is_read).
