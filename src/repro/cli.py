@@ -360,6 +360,32 @@ def cmd_qos(args) -> int:
     return 0
 
 
+def cmd_overcommit(args) -> int:
+    """Rank-overcommit demo (``docs/paging.md``).
+
+    Runs the same interleaved tenant schedule under four arms — a
+    reference host with enough physical ranks, hard denial, emulation
+    fallback, and demand paging — and prints the goodput/latency/
+    bit-identity scorecard plus the paging arm's swap accounting.
+    """
+    from repro.analysis.overcommit import overcommit_table, run_overcommit
+
+    result = run_overcommit(tenants=args.tenants,
+                            physical_ranks=args.ranks,
+                            dpus_per_rank=args.dpus_per_rank,
+                            rounds=args.rounds,
+                            overcommit_ratio=args.ratio)
+    print(overcommit_table(result))
+    paging = result.arms["paging"]
+    print()
+    print(f"paging arm swap accounting: "
+          f"{paging.demand_faults} demand + "
+          f"{paging.predictive_faults} predictive faults, "
+          f"{paging.evictions} evictions, "
+          f"{paging.swap_bytes >> 10} KiB moved")
+    return 0
+
+
 def cmd_spec(args) -> int:
     from repro.virt.virtio import VirtioPimConfigSpace
     from repro.config import MAX_SERIALIZED_BUFFERS, TRANSFERQ_SLOTS
@@ -523,6 +549,19 @@ def build_parser() -> argparse.ArgumentParser:
     qos.add_argument("--no-slo", action="store_true",
                      help="skip the SLO enforcement walkthrough")
     qos.set_defaults(fn=cmd_qos)
+
+    over = sub.add_parser(
+        "overcommit", help="rank-overcommit demo (docs/paging.md)")
+    over.add_argument("--tenants", type=int, default=4,
+                      help="VMs sharing the host (default 4)")
+    over.add_argument("--ranks", type=int, default=2,
+                      help="physical ranks on the host (default 2)")
+    over.add_argument("--dpus-per-rank", type=int, default=8)
+    over.add_argument("--rounds", type=int, default=8,
+                      help="interleaved VA rounds per tenant")
+    over.add_argument("--ratio", type=float, default=2.0,
+                      help="pager overcommit ratio (default 2.0)")
+    over.set_defaults(fn=cmd_overcommit)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

@@ -12,10 +12,11 @@ scheduling decisions span hosts), and the per-host stacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster.host import ClusterHost, host_machine_config
 from repro.errors import ClusterError
+from repro.paging.config import PagingConfig
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
 from repro.observability.metrics import MetricsRegistry
@@ -31,6 +32,11 @@ class ClusterConfig:
     dpus_per_rank: int = 8
     host_cores: int = 16
     manager_policy: str = "round_robin"
+    #: Demand-paging config applied to every host (``docs/paging.md``);
+    #: ``None`` keeps hosts physically-sized.  With paging, each host
+    #: advertises ``ranks_per_host * overcommit_ratio`` allocatable
+    #: ranks to the placement layer.
+    paging: Optional[PagingConfig] = None
 
     def __post_init__(self) -> None:
         if self.nr_hosts <= 0:
@@ -63,6 +69,7 @@ class Cluster:
                 clock=self.clock,
                 cost=cost,
                 manager_policy=config.manager_policy,
+                paging=config.paging,
                 spans=self.spans,
             )
             for i in range(config.nr_hosts)
@@ -98,8 +105,9 @@ class Cluster:
         return self.allocated_ranks() / total if total else 0.0
 
     def largest_host_ranks(self) -> int:
-        """Rank capacity of the largest host (admission upper bound)."""
-        return max(host.total_ranks for host in self.hosts)
+        """Allocatable-rank capacity of the largest host (admission
+        upper bound) — virtual capacity on overcommitted hosts."""
+        return max(host.capacity_ranks for host in self.hosts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Cluster({self.nr_hosts} hosts, "

@@ -51,7 +51,13 @@ class Consolidator:
         if not devices:
             return False
         for device in devices:
-            rank = device.backend.mapping.rank
+            # peek_rank never faults: a swapped-out paged rank has no
+            # resident frame and by the pager's invariant no RUNNING
+            # DPU — it is trivially at a launch boundary, hence
+            # migratable without dragging its state back in first.
+            rank = device.backend.mapping.peek_rank()
+            if rank is None:
+                continue
             if any(dpu.state is DpuState.RUNNING for dpu in rank.dpus):
                 return False
         return True

@@ -10,10 +10,13 @@ occupancy through the host's manager; it never touches ranks directly.
 from __future__ import annotations
 
 
+from typing import Optional
+
 from repro.config import MachineConfig, RankConfig
 from repro.core.api import VPim
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel, DEFAULT_COST_MODEL
+from repro.paging.config import PagingConfig
 from repro.virt.manager import RankState
 
 
@@ -32,10 +35,12 @@ class ClusterHost:
                  clock: SimClock,
                  cost: CostModel = DEFAULT_COST_MODEL,
                  manager_policy: str = "round_robin",
+                 paging: Optional[PagingConfig] = None,
                  spans=None) -> None:
         self.host_id = host_id
         self.vpim = VPim(config, cost=cost, clock=clock,
-                         manager_policy=manager_policy, spans=spans)
+                         manager_policy=manager_policy, paging=paging,
+                         spans=spans)
         #: False after :meth:`crash`; dead hosts never fit placements.
         self.alive = True
 
@@ -67,21 +72,31 @@ class ClusterHost:
     def total_ranks(self) -> int:
         return self.machine.nr_ranks
 
+    @property
+    def capacity_ranks(self) -> int:
+        """Allocatable ranks — physical, or the pager's virtual capacity
+        when demand paging overcommits the host (``docs/paging.md``).
+        Placement policies size against this, not ``total_ranks``."""
+        return self.manager.rank_capacity()
+
     def allocated_ranks(self) -> int:
         """Ranks currently held by a tenant (ALLO)."""
         return sum(1 for state in self.manager.states().values()
                    if state is RankState.ALLO)
 
     def free_ranks(self) -> int:
-        """Ranks a new tenant could obtain: NAAV now, or NANA after the
-        pending isolation reset (the manager waits that reset out)."""
-        return self.total_ranks - self.allocated_ranks()
+        """Ranks a new tenant could obtain: NAAV now, NANA after the
+        pending isolation reset (the manager waits that reset out), or —
+        on an overcommitted host — a fresh paged virtual rank."""
+        return self.capacity_ranks - self.allocated_ranks()
 
     def utilization(self) -> float:
-        """Allocated share of this host's ranks, in [0, 1]."""
-        if self.total_ranks == 0:
+        """Allocated share of this host's allocatable ranks, in [0, 1].
+        On an overcommitted host the denominator is the virtual
+        capacity, so 1.0 still means "no new tenant fits"."""
+        if self.capacity_ranks == 0:
             return 0.0
-        return self.allocated_ranks() / self.total_ranks
+        return self.allocated_ranks() / self.capacity_ranks
 
     def fits(self, nr_ranks: int) -> bool:
         return self.alive and self.free_ranks() >= nr_ranks

@@ -31,11 +31,19 @@ class VPim:
                  cost: CostModel = DEFAULT_COST_MODEL,
                  oversubscription: bool = False,
                  emulation_slowdown: float = 20.0,
+                 paging=None,
                  clock=None, manager_policy: str = "round_robin",
                  spans=None) -> None:
         """``oversubscription`` enables the Section 7 extension: when all
         physical ranks are allocated, the manager hands out software-
         emulated ranks running ``emulation_slowdown``x slower.
+
+        ``paging`` takes a :class:`~repro.paging.config.PagingConfig` to
+        enable the stronger §7 extension (``docs/paging.md``): the
+        manager hands out *virtual* ranks demand-paged over the physical
+        frames at full speed, with emulation (if also enabled) as the
+        last resort past the pager's virtual capacity.  ``None`` (the
+        default) models no paging at all.
 
         ``clock`` may be a shared :class:`~repro.hardware.clock.SimClock`
         so several hosts simulate one fleet-wide timeline
@@ -51,6 +59,7 @@ class VPim:
         self.manager = Manager(self.machine, self.driver,
                                oversubscription=oversubscription,
                                emulation_slowdown=emulation_slowdown,
+                               paging=paging,
                                policy=manager_policy)
         self.firecracker = Firecracker(self.machine, self.driver, self.manager)
 

@@ -138,6 +138,19 @@ class PerfModeMapping:
         self.owner = owner
         self.mapped = True
 
+    @property
+    def rank_index(self) -> int:
+        """The index this mapping was created for.
+
+        For a paged mapping this is the *virtual* index and never
+        faults; use it (not ``.rank.index``) for labels and scans.
+        """
+        return self.rank.index
+
+    def peek_rank(self) -> Optional[Rank]:
+        """The backing rank without faulting (always bound here)."""
+        return self.rank
+
     def _check(self) -> None:
         if not self.mapped:
             raise MmapError(f"rank {self.rank.index} mapping was unmapped")
@@ -186,11 +199,21 @@ class UpmemDriver:
         self._owners: Dict[int, str] = {}
         #: Optional pool of software ranks (oversubscription, Section 7).
         self.emulated_pool = None
+        #: Optional rank pager (demand paging, docs/paging.md): set by
+        #: the Manager when a PagingConfig is configured.  Virtual rank
+        #: indices (>= PAGED_RANK_BASE) resolve through it.
+        self.pager = None
         for rank in machine.ranks:
             self.sysfs.set_rank_status(rank.index, busy=False)
 
     def resolve_rank(self, rank_index: int) -> Rank:
-        """Find a rank by index, physical or emulated."""
+        """Find a rank by index: physical, emulated, or paged.
+
+        Resolving a swapped-out virtual rank faults it in (the pager
+        advances the clock by the modeled swap-in cost).
+        """
+        if self.pager is not None and self.pager.is_virtual(rank_index):
+            return self.pager.resolve(rank_index)
         if self.emulated_pool is not None:
             rank = self.emulated_pool.get(rank_index)
             if rank is not None:
@@ -233,6 +256,13 @@ class UpmemDriver:
     # -- performance mode ---------------------------------------------------------
 
     def mmap_rank(self, rank_index: int, owner: str) -> PerfModeMapping:
+        if self.pager is not None and self.pager.is_virtual(rank_index):
+            # Claim marks sysfs busy (and faults the vrank in — the
+            # first bind happens at map time); the mapping itself stays
+            # frame-agnostic and re-resolves on every operation.
+            from repro.paging.pager import PagedRankMapping
+            self.claim_rank(rank_index, owner)
+            return PagedRankMapping(self, self.pager, rank_index, owner)
         rank = self.claim_rank(rank_index, owner)
         return PerfModeMapping(self, rank, owner)
 

@@ -302,6 +302,44 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "SLO enforcement actions taken, by action kind",
         ("tenant", "action"), paper="docs/qos.md (actuation ladder)"),
 
+    # -- rank demand paging (repro.paging; §7 oversubscription) --------------
+    MetricSpec(
+        "repro_paging_swaps_total", "counter",
+        "Rank state copies between frames and the swap store, by direction",
+        ("direction",), paper="§7 (checkpoint/restore; docs/paging.md)"),
+    MetricSpec(
+        "repro_paging_swap_bytes_total", "counter",
+        "Checkpointed MRAM bytes moved by swap traffic, by direction",
+        ("direction",), paper="docs/paging.md (swap traffic)"),
+    MetricSpec(
+        "repro_paging_swap_seconds", "histogram",
+        "Modeled duration of each swap copy (charged at rank bandwidth)",
+        ("direction",), paper="docs/paging.md (cost model)"),
+    MetricSpec(
+        "repro_paging_faults_total", "counter",
+        "Rank faults taken by the pager, by kind",
+        ("kind",), paper="docs/paging.md (demand vs predictive faults)"),
+    MetricSpec(
+        "repro_paging_evictions_total", "counter",
+        "Victim ranks swapped out to free a frame, by eviction policy",
+        ("policy",), paper="docs/paging.md (eviction policies)"),
+    MetricSpec(
+        "repro_paging_ranks", "gauge",
+        "Virtual ranks currently in each residency state",
+        ("state",), paper="docs/paging.md (residency lifecycle)"),
+    MetricSpec(
+        "repro_paging_store_bytes", "gauge",
+        "Swap-store footprint: logical (raw) vs deduplicated (stored)",
+        ("kind",), paper="docs/paging.md (SwapStore dedup)"),
+    MetricSpec(
+        "repro_paging_dedup_hits_total", "counter",
+        "Swapped segments whose payload was already held by the store",
+        (), paper="docs/paging.md (content-addressed segments)"),
+    MetricSpec(
+        "repro_paging_prefault_overlap_seconds_total", "counter",
+        "Swap-in time hidden under virtio queue wait by predictive faults",
+        (), paper="docs/paging.md (predictive swap-in)"),
+
     # -- fault injection & recovery (repro.faults) ---------------------------
     MetricSpec(
         "repro_fault_injected_total", "counter",

@@ -396,6 +396,65 @@ class SloInstruments:
         self._actuations.labels(tenant=tenant, action=action).inc()
 
 
+class PagingInstruments:
+    """Telemetry of the rank pager (``repro.paging``; one per host).
+
+    Swap directions are ``out`` (frame -> store) and ``in`` (store ->
+    frame); fault kinds are ``first_touch`` (fresh vrank binding a
+    frame), ``demand`` (an operation hit a swapped-out rank) and
+    ``predictive`` (swap-in started while the request queued).
+    """
+
+    def __init__(self, registry: MetricsRegistry, policy: str) -> None:
+        self.registry = registry
+        swaps = instrument(registry, "repro_paging_swaps_total")
+        swap_bytes = instrument(registry, "repro_paging_swap_bytes_total")
+        swap_seconds = instrument(registry, "repro_paging_swap_seconds")
+        self._swap_bound = {
+            direction: (swaps.labels(direction=direction),
+                        swap_bytes.labels(direction=direction),
+                        swap_seconds.labels(direction=direction))
+            for direction in ("out", "in")
+        }
+        self._faults = instrument(registry, "repro_paging_faults_total")
+        self._evictions = instrument(
+            registry, "repro_paging_evictions_total").labels(policy=policy)
+        self._ranks = instrument(registry, "repro_paging_ranks")
+        self._store_bytes = instrument(registry, "repro_paging_store_bytes")
+        self._dedup_hits = instrument(registry,
+                                      "repro_paging_dedup_hits_total")
+        self._overlap = instrument(
+            registry, "repro_paging_prefault_overlap_seconds_total")
+
+    def swap(self, direction: str, nbytes: int, duration: float) -> None:
+        swaps, swap_bytes, swap_seconds = self._swap_bound[direction]
+        swaps.inc()
+        swap_bytes.inc(nbytes)
+        swap_seconds.observe(duration)
+
+    def fault(self, kind: str) -> None:
+        self._faults.labels(kind=kind).inc()
+
+    def eviction(self) -> None:
+        self._evictions.inc()
+
+    def residency(self, resident: int, swapped: int) -> None:
+        self._ranks.labels(state="resident").set(resident)
+        self._ranks.labels(state="swapped").set(swapped)
+
+    def store_footprint(self, raw: int, stored: int) -> None:
+        self._store_bytes.labels(kind="raw").set(raw)
+        self._store_bytes.labels(kind="stored").set(stored)
+
+    def dedup_hit(self, count: int = 1) -> None:
+        if count:
+            self._dedup_hits.inc(count)
+
+    def prefault_overlap(self, seconds: float) -> None:
+        if seconds > 0:
+            self._overlap.inc(seconds)
+
+
 class FaultInstruments:
     """Telemetry of the fault-injection and recovery subsystem.
 

@@ -42,7 +42,7 @@ from repro.observability.metrics import MetricsRegistry
 #: own named track; :func:`~repro.observability.critical_path.
 #: layer_self_times` reports per-layer self-time against this list.
 LAYERS = ("session", "sdk", "frontend", "virtio", "backend", "rank",
-          "cluster", "faults")
+          "paging", "cluster", "faults")
 
 #: Per-rank Perfetto tracks start at this tid (`rank N` → RANK_TID_BASE+N).
 RANK_TID_BASE = 100

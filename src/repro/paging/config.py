@@ -1,0 +1,52 @@
+"""Configuration of the rank demand-paging subsystem (``docs/paging.md``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PagingConfig:
+    """Tunables of the :class:`~repro.paging.pager.RankPager`.
+
+    Passing one to :class:`~repro.virt.manager.Manager` (or
+    :class:`~repro.core.api.VPim`) turns demand paging on; the default
+    everywhere is ``None``, which models no paging at all — the
+    committed wall-clock digest stays bit-identical.
+    """
+
+    #: Virtual ranks handed out per physical rank.  2.0 means a 4-rank
+    #: host advertises 8 allocatable ranks; the pager time-multiplexes
+    #: the physical frames underneath.
+    overcommit_ratio: float = 2.0
+
+    #: Victim selection: ``lru`` (evict the rank idle longest, scaled by
+    #: QoS weight) or ``wss`` (decayed working-set score — evict the
+    #: rank with the coldest recent activity).
+    policy: str = "lru"
+
+    #: Half-life of the ``wss`` policy's activity decay, in simulated
+    #: seconds: a rank's score halves after this much idle time.
+    wss_half_life_s: float = 1.0
+
+    #: Fixed modeled bookkeeping cost of one fault (frame lookup, page
+    #: table update) on top of the bandwidth-charged state copy.
+    fault_overhead_s: float = 150e-6
+
+    #: Start swap-ins for queued virtio requests that target a
+    #: swapped-out rank while the request is still waiting its turn, so
+    #: the copy overlaps the queue wait instead of serializing after it.
+    predictive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.overcommit_ratio < 1.0:
+            raise ValueError(
+                f"overcommit_ratio must be >= 1, got {self.overcommit_ratio}")
+        if self.policy not in ("lru", "wss"):
+            raise ValueError(
+                f"unknown eviction policy {self.policy!r}; "
+                "choose 'lru' or 'wss'")
+        if self.wss_half_life_s <= 0:
+            raise ValueError("wss_half_life_s must be positive")
+        if self.fault_overhead_s < 0:
+            raise ValueError("fault_overhead_s must be non-negative")

@@ -179,7 +179,7 @@ class VUpmemBackend:
         if self.mapping is not None:
             raise DeviceNotLinkedError(
                 f"device {self.device_id} is already linked to rank "
-                f"{self.mapping.rank.index}"
+                f"{self.mapping.rank_index}"
             )
         self.mapping = self.driver.mmap_rank(rank_index, self.device_id)
 
@@ -212,7 +212,7 @@ class VUpmemBackend:
         self.requests_processed += 1
         header, entries, skips = deserialize_request(chain, self.memory)
         # Rank bound at arrival time (RELEASE unlinks while handling).
-        rank = str(self.mapping.rank.index) if self.mapping else "none"
+        rank = str(self.mapping.rank_index) if self.mapping else "none"
         span = self.spans.begin("backend.request", "backend",
                                 kind=header.kind.name.lower(),
                                 rank=rank, device=self.device_id)

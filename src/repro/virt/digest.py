@@ -1,0 +1,39 @@
+"""The shared content-digest primitive.
+
+Two content-addressed indexes live in this codebase — the transfer
+cache's :class:`~repro.virt.transfer_cache.ExtentDigestIndex` (wire
+suppression, ``docs/transfer_cache.md``) and the paging subsystem's
+:class:`~repro.paging.store.SwapStore` (deduplicated swap segments,
+``docs/paging.md``).  Both must agree byte-for-byte on what "same
+content" means: a swap-in replays exactly the bytes the transfer cache
+considers resident, so a digest-function drift between the two would
+silently break the SKIP-validation protocol after a swap.  This module
+is the single definition both import.
+
+Digests are 8-byte blake2b (the stdlib stand-in for xxhash — same
+short-digest, non-cryptographic-speed role).  Collision safety is the
+*caller's* job, by keying: digests are only ever compared within one
+extent or one segment slot, never across a global namespace, so a
+2^-64 per-slot collision is the accepted content-addressing trade.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: Digest width in bytes; 8 matches the xxhash64 family PIM-CACHE uses.
+DIGEST_BYTES = 8
+
+
+def content_digest(data) -> int:
+    """64-bit content digest of one payload.
+
+    Accepts any array-like; bytes are hashed in canonical C order so the
+    digest is a pure function of the payload bytes.
+    """
+    buf = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    return int.from_bytes(
+        hashlib.blake2b(buf.tobytes(), digest_size=DIGEST_BYTES).digest(),
+        "little")

@@ -14,6 +14,15 @@ backend, transfer matrices, kernels) works on it unchanged; results stay
 bit-exact, only the simulated timing degrades.  Emulated ranks get
 indices starting at :data:`EMULATED_RANK_BASE` so reports can tell them
 apart, and they are destroyed when released (nothing to reset).
+
+Since demand paging landed (``repro.paging``, ``docs/paging.md``),
+emulation is the *last resort* in the oversubscription ladder, not the
+first: a Manager configured with both tiers satisfies overflow
+allocations from the pager's virtual capacity first (full-speed paged
+ranks, swap cost only at launch/transfer boundaries) and only falls
+back to a 20x-derated emulated rank once the pager's virtual capacity
+is itself exhausted.  ``Manager(oversubscription=True)`` alone keeps
+the historical behaviour.
 """
 
 from __future__ import annotations

@@ -54,17 +54,26 @@ class VmConfig:
     rootfs_path: str = "rootfs.ext4"
     opts: OptimizationConfig = field(default_factory=OptimizationConfig)
 
-    def validate(self, machine: Machine) -> None:
+    def validate(self, machine: Machine,
+                 capacity: Optional[int] = None) -> None:
+        """Reject impossible VM shapes.
+
+        ``capacity`` overrides the physical rank count as the sizing
+        limit — the Manager's :meth:`~repro.virt.manager.Manager.\
+rank_capacity` passes the pager's virtual capacity here when demand
+        paging (``docs/paging.md``) advertises more ranks than exist.
+        """
         if self.vcpus <= 0:
             raise VmConfigError(f"vcpus must be positive, got {self.vcpus}")
         if self.mem_bytes <= 0:
             raise VmConfigError(f"mem_bytes must be positive, got {self.mem_bytes}")
         if self.nr_vupmem < 0:
             raise VmConfigError(f"nr_vupmem must be >= 0, got {self.nr_vupmem}")
-        if self.nr_vupmem > machine.nr_ranks:
+        limit = capacity if capacity is not None else machine.nr_ranks
+        if self.nr_vupmem > limit:
             raise VmConfigError(
                 f"VM requests {self.nr_vupmem} vUPMEM devices but the host "
-                f"has only {machine.nr_ranks} physical ranks (Section 3.3)"
+                f"offers only {limit} allocatable ranks (Section 3.3)"
             )
         if not self.kernel_path:
             raise VmConfigError("a kernel image path is required")
@@ -131,7 +140,7 @@ class Firecracker:
 
     def launch_vm(self, config: VmConfig) -> Vm:
         """Boot a microVM with the requested vUPMEM devices attached."""
-        config.validate(self.machine)
+        config.validate(self.machine, capacity=self.manager.rank_capacity())
         vm_id = f"vm-{next(self._vm_ids)}"
         memory = GuestMemory(config.mem_bytes)
         kvm = Kvm(self.cost)

@@ -327,6 +327,16 @@ class VUpmemFrontend:
             qos_time = self.qos.on_kick(header.kind.name.lower(), payload,
                                         self.profiler.clock.now)
 
+        pager = getattr(self.backend.driver, "pager", None)
+        if pager is not None and self.backend.mapping is not None:
+            vrank = self.backend.mapping.rank_index
+            if pager.is_virtual(vrank):
+                # Predictive swap-in (docs/paging.md): the request is
+                # already queued, so the pager can overlap the swap with
+                # the dispatch window (interrupt + QoS queueing delay)
+                # instead of stalling the backend on a demand fault.
+                pager.prefault(vrank, overlap=int_time + qos_time)
+
         # The device takes the chain before processing; on failure it still
         # completes the request (with an error status) so the queue never
         # wedges.

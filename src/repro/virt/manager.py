@@ -20,6 +20,15 @@ Allocation policy (paper order):
 4. otherwise retry after an exponential backoff with jitter, a
    configurable number of times, then abandon the request.
 
+Oversubscription tiering (§7 extensions, both off by default): with a
+:class:`~repro.paging.config.PagingConfig`, the manager skips the
+ladder entirely and hands out *virtual* ranks the
+:class:`~repro.paging.pager.RankPager` demand-pages onto physical
+frames at full speed (``docs/paging.md``); only once the pager's
+virtual capacity is exhausted does the ladder above run, with
+``oversubscription=True``'s 20x-derated emulated ranks as the last
+resort before backoff.
+
 Releases are *not* signalled by VMs: a dedicated observer watches the
 driver's sysfs status files, so native host applications and VMs coexist
 without modification (requirement R3).
@@ -29,7 +38,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -41,6 +50,9 @@ from repro.hardware.machine import Machine
 from repro.hardware.rank import RankHealth
 from repro.hardware.timing import CostModel
 from repro.observability.instruments import ManagerInstruments
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.paging.config import PagingConfig
 
 
 class RankState(enum.Enum):
@@ -79,6 +91,7 @@ class ManagerStats:
     waits: int = 0
     abandoned: int = 0
     emulated_allocations: int = 0
+    paged_allocations: int = 0
     failures: int = 0
     repairs: int = 0
     retries_exhausted: int = 0
@@ -100,6 +113,7 @@ class Manager:
                  max_attempts: int = 5,
                  oversubscription: bool = False,
                  emulation_slowdown: float = 20.0,
+                 paging: Optional["PagingConfig"] = None,
                  policy: str = "round_robin",
                  blacklist_threshold: int = 3,
                  backoff_factor: float = 2.0,
@@ -138,6 +152,15 @@ class Manager:
             self.emulated_pool = EmulatedRankPool(machine,
                                                   slowdown=emulation_slowdown)
             driver.emulated_pool = self.emulated_pool
+        #: §7 demand paging (``docs/paging.md``): when configured, VM
+        #: allocations become virtual ranks the pager time-multiplexes
+        #: over the physical frames at full speed — the tier *above*
+        #: emulated ranks.  ``None`` (the default) models no paging.
+        self.pager = None
+        if paging is not None:
+            from repro.paging.pager import RankPager
+            self.pager = RankPager(self, paging)
+            driver.pager = self.pager
         self.rank_table: Dict[int, RankRecord] = {
             rank.index: RankRecord(
                 rank_index=rank.index,
@@ -181,6 +204,17 @@ class Manager:
 
     def _begin_release(self, record: RankRecord) -> None:
         """Rank released: enter NANA and schedule the isolation reset."""
+        if (self.pager is not None
+                and self.pager.is_virtual(record.rank_index)):
+            # Virtual ranks are destroyed like emulated ones: the pager
+            # discards the swap-store state and frees the frame; any
+            # frame leaving the pager's pool re-enters NAAV only through
+            # the normal isolation reset (see RankPager.release).
+            self.pager.release(record.rank_index)
+            self.obs.transition(record.state.value.lower(), "destroyed")
+            del self.rank_table[record.rank_index]
+            self._refresh_rank_gauge()
+            return
         if (self.emulated_pool is not None
                 and self.emulated_pool.is_emulated(record.rank_index)):
             # Emulated ranks are destroyed, not reset: the host memory is
@@ -218,6 +252,29 @@ class Manager:
         :class:`ManagerError` after ``max_attempts`` fruitless retries.
         """
         arrived_at = self.clock.now
+
+        # 0. Demand paging (§7 extension, docs/paging.md): every VM
+        # allocation becomes a virtual rank while the pager has virtual
+        # capacity.  The pager binds free physical frames first, so an
+        # under-committed host still runs at full speed with zero swaps
+        # — and because *all* tenants hold evictable vranks, any of
+        # them can be a victim once frames run short.
+        if self.pager is not None and self.pager.has_capacity():
+            vrank = self.pager.create(requester)
+            self.rank_table[vrank] = RankRecord(
+                rank_index=vrank,
+                status_file=self.driver.sysfs.rank_status_path(vrank),
+                state=RankState.ALLO,
+                assigned_device=requester,
+                last_owner=requester,
+            )
+            self.obs.allocation("paged", self.clock.now - arrived_at)
+            self._refresh_rank_gauge()
+            self.clock.advance(self.cost.manager_alloc)
+            self.stats.allocations += 1
+            self.stats.paged_allocations += 1
+            return vrank
+
         for _attempt in range(self.max_attempts):
             for record in self.rank_table.values():
                 self._settle(record)
@@ -314,6 +371,56 @@ class Manager:
                 self._rr_cursor = (indices.index(idx) + 1) % len(indices)
                 return idx
         return None
+
+    # -- frame pool (demand paging, docs/paging.md) --------------------------------
+
+    def rank_capacity(self) -> int:
+        """Allocatable ranks this host advertises.
+
+        Physical count normally; the pager's virtual capacity (physical
+        x overcommit ratio) when paging is configured.  VM sizing
+        (:meth:`~repro.virt.firecracker.VmConfig.validate`) and cluster
+        placement both size against this.
+        """
+        if self.pager is not None:
+            return self.pager.virtual_capacity
+        return self.machine.nr_ranks
+
+    def acquire_frame(self, wait: bool = False) -> Optional[int]:
+        """Claim one NAAV rank as a pager frame; None if none is free.
+
+        The claim goes through the driver, so sysfs shows the frame busy
+        under the ``"pager"`` owner and the observer moves the record to
+        ALLO — frames stay first-class rows of the rank table.  With
+        ``wait`` the call sits out the earliest pending NANA reset
+        (advancing the clock) before giving up.
+        """
+        for record in self.rank_table.values():
+            self._settle(record)
+        idx = self._pick_naav()
+        if idx is None and wait:
+            nana = [r for r in self.rank_table.values()
+                    if r.state is RankState.NANA]
+            if nana:
+                self.clock.advance_to(min(r.reset_done_at for r in nana))
+                self.stats.waits += 1
+                for record in self.rank_table.values():
+                    self._settle(record)
+                idx = self._pick_naav()
+        if idx is None:
+            return None
+        self.driver.claim_rank(idx, "pager")
+        self.rank_table[idx].last_owner = "pager"
+        return idx
+
+    def return_frame(self, rank_index: int) -> None:
+        """Give a pager frame back to the general pool.
+
+        A plain driver release: the observer walks the rank through NANA
+        and the full isolation reset, so nothing a pager tenant wrote
+        can leak to the next (non-pager) owner.
+        """
+        self.driver.release_rank(rank_index, "pager")
 
     # -- failure handling (health tracking + quarantine) ---------------------------
 

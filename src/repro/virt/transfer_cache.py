@@ -15,9 +15,12 @@ behind the opt-in ``Optimization(cache=True)`` toggle (see
   fed from the wire, used to validate ``SKIP`` extents before trusting
   them (a mismatch is a protocol violation, not a silent corruption).
 
-Digests are 8-byte blake2b (the stdlib stand-in for xxhash — same
-short-digest, non-cryptographic-speed role).  Collision safety comes
-from *extent keying*: a digest is only ever compared against the digest
+The digest function itself lives in :mod:`repro.virt.digest` — it is
+shared with the paging subsystem's deduplicating
+:class:`~repro.paging.store.SwapStore`, and the two indexes must agree
+byte-for-byte on what "same content" means (a swap-in replays exactly
+the bytes this cache considers resident).  Collision safety comes from
+*extent keying*: a digest is only ever compared against the digest
 previously stored for the exact same ``(dpu, space, offset, size)``
 extent, so a colliding payload at a first-touch extent can never be
 suppressed.  Within one extent, a 2^-64 collision is the accepted
@@ -27,30 +30,21 @@ leaving the default (cache-off) path untouched.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, Optional, Tuple
 
-import numpy as np
+# Re-exported for existing importers (frontend/backend/tests pull the
+# digest from here); the definition moved to the shared module.
+from repro.virt.digest import DIGEST_BYTES, content_digest
 
-#: Digest width in bytes; 8 matches the xxhash64 family PIM-CACHE uses.
-DIGEST_BYTES = 8
+__all__ = [
+    "DIGEST_BYTES", "content_digest", "ExtentDigestIndex",
+    "MAX_RECORDS_PER_REGION",
+]
 
 #: Records kept per (dpu, space) region before LRU eviction.  PrIM apps
 #: touch a handful of distinct extents per DPU per region; the bound only
 #: exists so adversarial write patterns cannot grow the index unbounded.
 MAX_RECORDS_PER_REGION = 128
-
-
-def content_digest(data) -> int:
-    """64-bit content digest of one extent's payload.
-
-    Accepts any array-like; bytes are hashed in canonical C order so the
-    digest is a pure function of the payload bytes.
-    """
-    buf = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
-    return int.from_bytes(
-        hashlib.blake2b(buf.tobytes(), digest_size=DIGEST_BYTES).digest(),
-        "little")
 
 
 class ExtentDigestIndex:

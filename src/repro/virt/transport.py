@@ -27,10 +27,19 @@ class VirtRankChannel(RankChannel):
     def __init__(self, vm: Vm, device: VUpmemDevice) -> None:
         self._vm = vm
         self.device = device
-        rank = self._rank()
+        mapping = device.backend.mapping
+        if mapping is None:
+            raise DeviceNotLinkedError(
+                f"device {device.device_id} lost its rank"
+            )
         # Cached so reporting still works after the rank is released.
-        self._nr_dpus = rank.nr_dpus
-        self._rank_index = rank.index
+        # ``mapping.rank_index`` (not ``.rank.index``) so a paged
+        # mapping reports its stable virtual index, not whichever
+        # physical frame happens to back it right now.
+        rank = mapping.peek_rank()
+        self._nr_dpus = (rank.nr_dpus if rank is not None
+                         else vm.machine.config.ranks[0].functional_dpus)
+        self._rank_index = mapping.rank_index
 
     def _rank(self):
         mapping = self.device.backend.mapping

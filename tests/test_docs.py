@@ -137,6 +137,32 @@ class TestQosDocMetricTable:
                 f"catalog declares {spec.labels}")
 
 
+class TestPagingDocMetricTable:
+    """docs/paging.md carries its own copy of the paging families' rows;
+    they must match the catalog exactly, like observability.md's."""
+
+    @pytest.fixture(scope="class")
+    def table_rows(self) -> list:
+        text = (REPO_ROOT / "docs" / "paging.md").read_text()
+        rows = re.findall(r"^\| `(repro_[a-z0-9_]+)` \|[^|]+\| ([^|]*) \|",
+                          text, re.MULTILINE)
+        assert rows, "metric table not found in docs/paging.md"
+        return rows
+
+    def test_every_paging_family_has_a_row(self, table_rows):
+        paging_families = {name for name in CATALOG
+                           if name.startswith("repro_paging_")}
+        assert paging_families == {name for name, _ in table_rows}
+
+    def test_documented_labels_match_catalog(self, table_rows):
+        for name, label_cell in table_rows:
+            spec = CATALOG[name]
+            documented = tuple(re.findall(r"`([^`]+)`", label_cell))
+            assert documented == spec.labels, (
+                f"{name}: docs/paging.md lists labels {documented}, "
+                f"catalog declares {spec.labels}")
+
+
 def test_readme_mentions_metrics_cli():
     text = (REPO_ROOT / "README.md").read_text()
     assert "metrics" in text
