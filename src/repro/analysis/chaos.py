@@ -147,13 +147,18 @@ def build_plan(config: ChaosConfig) -> FaultPlan:
 
 
 def run_chaos(config: ChaosConfig = ChaosConfig(),
-              plan: Optional[FaultPlan] = None) -> ChaosResult:
+              plan: Optional[FaultPlan] = None,
+              on_vpim=None) -> ChaosResult:
     """Run ``nr_sessions`` PrIM sessions on one VM while ``plan`` fires.
 
     Each session goes through
     :func:`~repro.faults.recovery.run_with_recovery`: transient faults
     are retried inside the frontend, hardware faults cause a rerun on a
     replacement rank, and only exhausted budgets count as lost.
+
+    ``on_vpim``, when given, is called with the freshly built
+    :class:`VPim` before any session runs — the telemetry pipeline's
+    attachment seam (``repro monitor --scenario chaos``).
     """
     from repro.apps.registry import app_by_short_name
     from repro.cluster.loadgen import APP_PARAMS
@@ -166,6 +171,8 @@ def run_chaos(config: ChaosConfig = ChaosConfig(),
         ranks=[RankConfig(i, config.dpus_per_rank)
                for i in range(config.nr_ranks)])
     vpim = VPim(machine_config)
+    if on_vpim is not None:
+        on_vpim(vpim)
     injector = FaultInjector(plan, vpim.clock,
                              registry=vpim.machine.metrics)
     injector.arm_machine(vpim.machine, vpim.manager)

@@ -172,6 +172,7 @@ def run_app_traced(
         profile: str = "test", preset: Optional[str] = None,
         config: Optional[MachineConfig] = None,
         sample_rate: float = 1.0,
+        on_vpim=None,
         **extra_params) -> Tuple[ExecutionReport, MetricsRegistry,
                                  SpanRecorder]:
     """Like :func:`run_app`, but under request-scoped distributed tracing.
@@ -189,6 +190,10 @@ def run_app_traced(
     # The machine builds its recorder always-on; the head-sampling rate
     # only matters from the next root span, so setting it here is safe.
     recorder.sample_rate = sample_rate
+    if on_vpim is not None:
+        # Telemetry attachment seam (``repro monitor``): runs before the
+        # session exists, so a scrape store sees the whole run.
+        on_vpim(vpim)
     params = dict(SIZE_PROFILES[profile].get(short_name, {}))
     params.update(extra_params)
     app = app_by_short_name(short_name).cls(nr_dpus=nr_dpus, **params)

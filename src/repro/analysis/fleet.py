@@ -14,15 +14,16 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.loadgen import ScenarioConfig, ScenarioResult, run_scenario
+from repro.observability.stats import percentile_nearest_rank
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = int(round(q / 100.0 * (len(ordered) - 1)))
-    return ordered[rank]
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input.
+
+    Delegates to the shared stats module; kept as a named wrapper because
+    the CLI and the QoS analysis import it from here.
+    """
+    return percentile_nearest_rank(values, q)
 
 
 @dataclass(frozen=True)

@@ -7,8 +7,10 @@ Usage::
     python -m repro compare NW --dpus 16          # native vs vPIM
     python -m repro figure fig9                   # regenerate a figure
     python -m repro metrics VA --dpus 60          # Prometheus snapshot
+    python -m repro metrics --diff old.json new.json  # snapshot delta
     python -m repro trace NW --dpus 16            # span tree + critical path
     python -m repro cluster --policy best_fit     # fleet scenario replay
+    python -m repro monitor --quick --out dash.html   # telemetry pipeline
     python -m repro spec                          # the virtio-pim spec
 """
 
@@ -136,6 +138,12 @@ def cmd_metrics(args) -> int:
     """Run one application and print/save the metrics snapshot."""
     from repro.observability import render_json, render_prometheus
 
+    if args.diff:
+        return _metrics_diff(args.diff[0], args.diff[1])
+    if args.app is None:
+        print("error: an application is required unless --diff is given",
+              file=sys.stderr)
+        return 2
     mode = "native" if args.mode == "native" else "vm"
     report, registry, tracer = figures.run_app_instrumented(
         args.app, args.dpus, mode=mode, profile=args.profile,
@@ -153,6 +161,81 @@ def cmd_metrics(args) -> int:
         print(f"chrome trace ({len(tracer.events)} events) "
               f"written to {args.trace}", file=sys.stderr)
     return 0 if report.verified else 1
+
+
+def _metrics_diff(old_path: str, new_path: str) -> int:
+    """Print the per-family delta between two JSON metric snapshots."""
+    from repro.errors import ObservabilityError
+    from repro.observability.snapshots import (
+        diff_snapshots, format_deltas, load_snapshot,
+    )
+
+    try:
+        old = load_snapshot(old_path)
+        new = load_snapshot(new_path)
+    except (OSError, ValueError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_snapshots(old, new)
+    print(format_deltas(deltas))
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run a scenario under the telemetry pipeline; render the dashboard."""
+    import json
+
+    from repro.analysis.monitor import MonitorConfig, run_monitor
+    from repro.analysis.report import format_table
+    from repro.observability.dashboard import render_dashboard
+
+    scenario = "quick" if args.quick else args.scenario
+    result = run_monitor(MonitorConfig(scenario=scenario, seed=args.seed,
+                                       interval=args.interval))
+    data = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(render_dashboard(data))
+        print(f"dashboard written to {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        rows = []
+        for telemetry in data["scenarios"]:
+            firing = [r["name"] for r in telemetry["alerts"]["rules"]
+                      if r["state"] == "firing"]
+            rows.append((
+                telemetry["name"], telemetry["scrapes"],
+                telemetry["series"], telemetry["dropped"],
+                f"{telemetry['makespan_s']:.4f}",
+                ",".join(f"{k}={v}" for k, v in sorted(
+                    telemetry["retention_counts"].items())) or "-",
+                ",".join(firing) or "-",
+            ))
+        print(format_table(
+            ["scenario", "scrapes", "series", "dropped", "makespan s",
+             "retention", "firing"],
+            rows, title=f"repro monitor ({scenario}, seed {args.seed})"))
+        if data["exemplar_families"]:
+            print("exemplars: " + "  ".join(
+                f"{name}={count}" for name, count in sorted(
+                    data["exemplar_families"].items())))
+        if data.get("tail_demo"):
+            demo = data["tail_demo"]
+            print(f"tail demo: slowest decile kept by tail arm: "
+                  f"{demo['slowest_kept_by_tail']}; dropped by head arm: "
+                  f"{demo['slowest_dropped_by_head']}")
+        if data.get("drill"):
+            drill = data["drill"]
+            print(f"fault drill: pending={drill['visited_pending']} "
+                  f"firing={drill['visited_firing']} "
+                  f"resolved={drill['visited_resolved']}")
+        print(f"digest: {result.digest()}")
+    if result.dropped_points > 0:
+        print(f"error: the store dropped {result.dropped_points} points — "
+              "raise the scrape interval or max_points", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -438,7 +521,12 @@ def build_parser() -> argparse.ArgumentParser:
     met = sub.add_parser(
         "metrics",
         help="run one application and emit a metrics snapshot")
-    met.add_argument("app", choices=[i.short_name for i in ALL_APPS])
+    met.add_argument("app", nargs="?", default=None,
+                     choices=[i.short_name for i in ALL_APPS])
+    met.add_argument("--diff", nargs=2, default=None,
+                     metavar=("OLD", "NEW"),
+                     help="diff two JSON snapshots instead of running: "
+                          "counters as rates, gauges as last value")
     met.add_argument("--dpus", type=int, default=16)
     met.add_argument("--mode", choices=["native", "vpim"], default="vpim")
     met.add_argument("--preset", choices=sorted(PRESETS), default=None)
@@ -562,6 +650,25 @@ def build_parser() -> argparse.ArgumentParser:
     over.add_argument("--ratio", type=float, default=2.0,
                       help="pager overcommit ratio (default 2.0)")
     over.set_defaults(fn=cmd_overcommit)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run a scenario under the telemetry pipeline "
+             "(docs/monitoring.md)")
+    mon.add_argument("--scenario", default="quick",
+                     choices=["quick", "prim", "noisy", "paging", "drill",
+                              "cluster", "chaos"])
+    mon.add_argument("--quick", action="store_true",
+                     help="force the quick composite suite (the CI smoke)")
+    mon.add_argument("--seed", type=int, default=0,
+                     help="same seed, same telemetry digest")
+    mon.add_argument("--interval", type=float, default=None,
+                     help="override the scrape cadence (simulated seconds)")
+    mon.add_argument("--out", default=None, metavar="FILE",
+                     help="write the self-contained HTML dashboard here")
+    mon.add_argument("--format", choices=["text", "json"], default="text",
+                     help="stdout format (the dashboard is always HTML)")
+    mon.set_defaults(fn=cmd_monitor)
 
     sub.add_parser("spec", help="print the virtio-pim specification"
                    ).set_defaults(fn=cmd_spec)

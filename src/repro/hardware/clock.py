@@ -22,22 +22,49 @@ class SimClock:
 
     def __init__(self) -> None:
         self._now = 0.0
+        # Time listeners (the telemetry scrape loop).  Kept as a plain
+        # list checked for emptiness on the hot path: a clock with no
+        # listeners — every default run — pays one truthiness test per
+        # advance and nothing else.
+        self._listeners: List = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    def add_listener(self, listener) -> None:
+        """Register ``listener(now)`` to run after every forward move.
+
+        Listeners observe time; they must never advance it (the callback
+        runs after ``_now`` settles, and re-entrant advances would make
+        scrape timestamps depend on listener order).
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Unregister a listener added with :meth:`add_listener`."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self._now)
+
     def advance(self, seconds: float) -> None:
         """Move time forward by ``seconds`` (must be non-negative)."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         self._now += seconds
+        if self._listeners:
+            self._notify()
 
     def advance_to(self, deadline: float) -> None:
         """Move time forward to ``deadline`` if it lies in the future."""
         if deadline > self._now:
             self._now = deadline
+            if self._listeners:
+                self._notify()
 
     def reset(self) -> None:
         """Reset to t=0 (used between independent experiment runs)."""

@@ -19,7 +19,17 @@ instrumented layer sits in the stack.
 - :mod:`~repro.observability.critical_path` — per-layer self-time and
   critical-path attribution over finished traces;
 - :mod:`~repro.observability.logs` — trace-correlated structured JSONL
-  logging.
+  logging;
+- :mod:`~repro.observability.stats` — the shared percentile /
+  decayed-mean math every consumer of "p99" goes through;
+- :mod:`~repro.observability.timeseries` — the simulated-time
+  time-series store behind ``repro monitor``;
+- :mod:`~repro.observability.alerts` — declarative alert rules
+  evaluated against the store;
+- :mod:`~repro.observability.snapshots` — JSON-snapshot parsing and
+  diffing (``repro metrics --diff``);
+- :mod:`~repro.observability.dashboard` — the self-contained HTML
+  dashboard renderer (see ``docs/monitoring.md``).
 """
 
 from repro.observability.catalog import CATALOG, instrument, register_all
@@ -51,8 +61,22 @@ from repro.observability.spans import (  # noqa: E402
     SpanRecorder,
     Trace,
 )
+from repro.observability.alerts import (  # noqa: E402
+    AlertRule,
+    AlertRuleEngine,
+)
+from repro.observability.dashboard import render_dashboard  # noqa: E402
+from repro.observability.snapshots import (  # noqa: E402
+    diff_snapshots,
+    format_deltas,
+    load_snapshot,
+    parse_snapshot,
+)
+from repro.observability.timeseries import TimeSeriesStore  # noqa: E402
 
 __all__ = [
+    "AlertRule",
+    "AlertRuleEngine",
     "CATALOG",
     "DEFAULT_BUCKETS",
     "LAYERS",
@@ -61,12 +85,18 @@ __all__ = [
     "Span",
     "SpanContext",
     "SpanRecorder",
+    "TimeSeriesStore",
     "Trace",
     "TraceLogger",
     "critical_path",
+    "diff_snapshots",
+    "format_deltas",
     "instrument",
     "layer_self_times",
+    "load_snapshot",
+    "parse_snapshot",
     "register_all",
+    "render_dashboard",
     "render_json",
     "render_prometheus",
     "save_snapshot",

@@ -389,6 +389,40 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "repro_span_traces_total", "counter",
         "Traces finished by the recorder, by retention outcome",
         ("retained",), paper="§5 (sampled evaluation runs)"),
+    MetricSpec(
+        "repro_span_retention_total", "counter",
+        "Traces classified by the tail sampler, by retention tier",
+        ("tier",), paper="docs/monitoring.md (tail-based retention)"),
+
+    # -- telemetry pipeline (repro.observability.timeseries / .alerts) -------
+    MetricSpec(
+        "repro_tsdb_scrapes_total", "counter",
+        "Registry scrapes completed by the time-series store",
+        (), paper="docs/monitoring.md (scrape cadence)"),
+    MetricSpec(
+        "repro_tsdb_samples_total", "counter",
+        "Data points appended across all series by the store",
+        (), paper="docs/monitoring.md (ring buffers)"),
+    MetricSpec(
+        "repro_tsdb_dropped_points_total", "counter",
+        "Oldest points overwritten by a full series ring buffer",
+        ("name",), paper="docs/monitoring.md (bounded retention)"),
+    MetricSpec(
+        "repro_tsdb_series", "gauge",
+        "Distinct series (metric name + label set) currently held",
+        (), paper="docs/monitoring.md (cardinality)"),
+    MetricSpec(
+        "repro_alert_state", "gauge",
+        "Whether each alert rule currently occupies the given state",
+        ("rule", "state"), paper="docs/monitoring.md (rule state machine)"),
+    MetricSpec(
+        "repro_alert_transitions_total", "counter",
+        "Alert rule state transitions, by destination state",
+        ("rule", "to_state"), paper="docs/monitoring.md (rule state machine)"),
+    MetricSpec(
+        "repro_alert_evaluations_total", "counter",
+        "Rule evaluation passes executed by the alert engine",
+        ("rule",), paper="docs/monitoring.md (evaluation loop)"),
 )
 
 #: Name -> spec for quick lookup.

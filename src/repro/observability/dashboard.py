@@ -1,0 +1,368 @@
+"""Self-contained HTML dashboard for ``repro monitor`` results.
+
+One file, zero dependencies, zero network: inline CSS custom properties
+(light and dark from ``prefers-color-scheme``), inline SVG sparklines,
+an alert timeline, and the exemplar-trace tables.  Everything plotted is
+simulated time, so the file is a deterministic artifact of the run.
+
+Design rules applied throughout (they are checks, not taste):
+
+- single-series sparklines — identity comes from the card title, so no
+  legend; multi-entity comparisons are tables, not dual axes;
+- text wears ink tokens, never series color; numbers use tabular-nums;
+- alert states use the reserved status palette and always carry a text
+  label next to the color;
+- every SVG ships a ``<title>`` per point region for hover inspection
+  and the same data appears in a table, so nothing is color- or
+  hover-only.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence, Tuple
+
+#: Categorical slot 1 (validated palette): the only series color used —
+#: every sparkline is single-series.
+SERIES_LIGHT = "#2a78d6"
+SERIES_DARK = "#3987e5"
+
+#: Reserved status colors (light-mode steps; readable on both surfaces).
+STATUS = {
+    "inactive": "var(--ink-muted)",
+    "pending": "#fab219",
+    "firing": "#d03b3b",
+    "resolved": "#0ca30c",
+}
+
+_CSS = """
+:root {
+  --surface: #fcfcfb;
+  --ink: #0b0b0b;
+  --ink-secondary: #52514e;
+  --ink-muted: #898781;
+  --gridline: #e1e0d9;
+  --series: #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --ink: #ffffff;
+    --ink-secondary: #c3c2b7;
+    --ink-muted: #898781;
+    --gridline: #2c2c2a;
+    --series: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 24px 0 8px; }
+h3 { font-size: 13px; font-weight: 600; margin: 0 0 2px;
+     color: var(--ink-secondary); }
+.meta { color: var(--ink-secondary); margin-bottom: 16px; }
+.meta code { color: var(--ink); }
+.cards { display: flex; flex-wrap: wrap; gap: 16px; }
+.card {
+  border: 1px solid var(--gridline); border-radius: 8px;
+  padding: 12px 14px; min-width: 260px;
+}
+.stat { font-size: 22px; font-weight: 600;
+        font-variant-numeric: tabular-nums; }
+.stat-label { color: var(--ink-muted); font-size: 12px; }
+table { border-collapse: collapse; margin: 8px 0; width: 100%; }
+th, td { text-align: left; padding: 4px 10px 4px 0;
+         border-bottom: 1px solid var(--gridline); }
+th { color: var(--ink-secondary); font-weight: 600; font-size: 12px; }
+td { font-variant-numeric: tabular-nums; }
+td.num { text-align: right; }
+.spark polyline { fill: none; stroke: var(--series); stroke-width: 2; }
+.spark .grid { stroke: var(--gridline); stroke-width: 1; }
+.spark text { fill: var(--ink-muted); font-size: 10px; }
+.state { display: inline-flex; align-items: center; gap: 6px; }
+.dot { width: 8px; height: 8px; border-radius: 50%; display: inline-block; }
+.bar-track { background: var(--gridline); border-radius: 2px;
+             height: 8px; width: 120px; display: inline-block; }
+.bar-fill { background: var(--series); border-radius: 2px; height: 8px;
+            display: block; }
+.timeline rect { rx: 2; }
+.timeline text { fill: var(--ink-secondary); font-size: 11px; }
+.footnote { color: var(--ink-muted); font-size: 12px; margin-top: 24px; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) < 0.001:
+        return f"{value:.2e}"
+    return f"{value:.{digits}g}"
+
+
+def sparkline(points: Sequence[Sequence[float]], width: int = 240,
+              height: int = 48, label: str = "") -> str:
+    """One inline SVG sparkline: a thin 2px line, a baseline gridline,
+    min/max text in ink tokens, and a hover ``<title>`` with the range.
+
+    Returns an empty-state note when there are fewer than two points —
+    never an axis with nothing on it.
+    """
+    pts = [(float(p[0]), float(p[1])) for p in points]
+    if len(pts) < 2:
+        return '<div class="stat-label">(not enough points)</div>'
+    t0, t1 = pts[0][0], pts[-1][0]
+    lo = min(v for _, v in pts)
+    hi = max(v for _, v in pts)
+    pad = 4
+    span_t = (t1 - t0) or 1.0
+    span_v = (hi - lo) or 1.0
+    coords = []
+    for t, v in pts:
+        x = pad + (t - t0) / span_t * (width - 2 * pad)
+        y = height - pad - (v - lo) / span_v * (height - 2 * pad - 12)
+        coords.append(f"{x:.1f},{y:.1f}")
+    title = (f"{_esc(label)}: {_fmt(lo)} to {_fmt(hi)} over "
+             f"{_fmt(t1 - t0)}s simulated")
+    return (
+        f'<svg class="spark" role="img" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f"<title>{title}</title>"
+        f'<line class="grid" x1="{pad}" y1="{height - pad}" '
+        f'x2="{width - pad}" y2="{height - pad}"/>'
+        f'<polyline points="{" ".join(coords)}"/>'
+        f'<text x="{pad}" y="10">max {_fmt(hi)}</text>'
+        f'<text x="{width - pad}" y="10" text-anchor="end">'
+        f"min {_fmt(lo)}</text>"
+        "</svg>"
+    )
+
+
+def alert_timeline(rules: List[dict], t_end: float,
+                   width: int = 560) -> str:
+    """Per-rule state bands over simulated time.
+
+    Each rule gets one row; colored segments show the state between
+    transitions, and every segment carries a ``<title>``.  States are
+    also listed textually in the alerts table, so the color is never the
+    only encoding.
+    """
+    rows = [r for r in rules if r["transitions"]]
+    if not rows:
+        return ('<div class="stat-label">no alert transitions — every '
+                "rule stayed inactive</div>")
+    row_h, gap, label_w = 18, 8, 150
+    height = len(rows) * (row_h + gap) + 16
+    t_max = max(t_end, max(t["ts"] for r in rows for t in r["transitions"]))
+    t_max = t_max or 1.0
+    parts = [
+        f'<svg class="timeline" role="img" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    plot_w = width - label_w - 8
+    for i, rule in enumerate(rows):
+        y = i * (row_h + gap) + 12
+        parts.append(f'<text x="0" y="{y + row_h - 5}">'
+                     f'{_esc(rule["name"])}</text>')
+        # Walk the transitions into (start, end, state) segments.
+        segments: List[Tuple[float, float, str]] = []
+        state, start = "inactive", 0.0
+        for t in rule["transitions"]:
+            segments.append((start, t["ts"], state))
+            state, start = t["to"], t["ts"]
+        segments.append((start, t_max, state))
+        for seg_start, seg_end, seg_state in segments:
+            if seg_end <= seg_start:
+                continue
+            x = label_w + seg_start / t_max * plot_w
+            w = max((seg_end - seg_start) / t_max * plot_w, 1.5)
+            color = STATUS.get(seg_state, "var(--ink-muted)")
+            opacity = "0.35" if seg_state == "inactive" else "1"
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{row_h}" fill="{color}" opacity="{opacity}">'
+                f"<title>{_esc(rule['name'])}: {seg_state} "
+                f"[{_fmt(seg_start)}s – {_fmt(seg_end)}s]</title></rect>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _state_chip(state: str) -> str:
+    color = STATUS.get(state, "var(--ink-muted)")
+    return (f'<span class="state"><span class="dot" '
+            f'style="background:{color}"></span>{_esc(state)}</span>')
+
+
+def _scenario_section(telemetry: dict) -> str:
+    parts = [f"<h2>{_esc(telemetry['name'])}</h2>"]
+    parts.append(
+        '<div class="cards">'
+        f'<div class="card"><div class="stat">'
+        f"{_fmt(telemetry['makespan_s'])}s</div>"
+        '<div class="stat-label">simulated makespan</div></div>'
+        f'<div class="card"><div class="stat">{telemetry["scrapes"]}</div>'
+        '<div class="stat-label">scrapes</div></div>'
+        f'<div class="card"><div class="stat">{telemetry["series"]}</div>'
+        '<div class="stat-label">series</div></div>'
+        f'<div class="card"><div class="stat">{telemetry["dropped"]}</div>'
+        '<div class="stat-label">dropped points</div></div>'
+        "</div>")
+
+    if telemetry["trajectories"]:
+        parts.append('<div class="cards">')
+        for name, points in sorted(telemetry["trajectories"].items()):
+            parts.append(
+                f'<div class="card"><h3>{_esc(name)}</h3>'
+                f"{sparkline(points, label=name)}</div>")
+        parts.append("</div>")
+
+    alerts = telemetry.get("alerts") or {}
+    rules = alerts.get("rules", [])
+    if rules:
+        parts.append("<h3>alerts</h3>")
+        parts.append(alert_timeline(rules, telemetry["makespan_s"]))
+        parts.append(
+            "<table><tr><th>rule</th><th>kind</th><th>metric</th>"
+            "<th>state</th><th>last value</th><th>transitions</th></tr>")
+        for rule in rules:
+            parts.append(
+                f"<tr><td>{_esc(rule['name'])}</td>"
+                f"<td>{_esc(rule['kind'])}</td>"
+                f"<td><code>{_esc(rule['metric'])}</code></td>"
+                f"<td>{_state_chip(rule['state'])}</td>"
+                f"<td class=\"num\">{_fmt(rule['last_value'])}</td>"
+                f"<td class=\"num\">{len(rule['transitions'])}</td></tr>")
+        parts.append("</table>")
+
+    if telemetry.get("exemplars"):
+        parts.append("<h3>exemplars (worst observation per family)</h3>")
+        parts.append("<table><tr><th>histogram</th><th>count</th>"
+                     "<th>worst trace</th><th>value</th></tr>")
+        for name, info in sorted(telemetry["exemplars"].items()):
+            worst = info.get("worst") or {}
+            parts.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f"<td class=\"num\">{info['count']}</td>"
+                f"<td><code>{_esc(worst.get('trace_id', '-'))}</code></td>"
+                f"<td class=\"num\">{_fmt(worst.get('value', 0.0))}s</td>"
+                "</tr>")
+        parts.append("</table>")
+
+    if telemetry.get("traces"):
+        parts.append("<h3>slowest retained traces</h3>")
+        longest = max(t["duration_s"] for t in telemetry["traces"]) or 1.0
+        parts.append("<table><tr><th>trace</th><th>retention</th>"
+                     "<th>duration</th><th></th>"
+                     "<th>critical path by layer</th></tr>")
+        for trace in telemetry["traces"]:
+            share = trace["duration_s"] / longest
+            layers = ", ".join(
+                f"{layer} {_fmt(seconds * 1e3)}ms"
+                for layer, seconds in sorted(
+                    trace["layers"].items(), key=lambda kv: -kv[1])[:4])
+            parts.append(
+                f"<tr><td><code>{_esc(trace['trace_id'])}</code></td>"
+                f"<td>{_esc(trace['retention'] or 'head')}"
+                f"{' (faulted)' if trace.get('faulted') else ''}</td>"
+                f"<td class=\"num\">{_fmt(trace['duration_s'] * 1e3)}ms</td>"
+                f'<td><span class="bar-track"><span class="bar-fill" '
+                f'style="width:{share * 100:.0f}%"></span></span></td>'
+                f"<td>{_esc(layers)}</td></tr>")
+        parts.append("</table>")
+
+    if telemetry.get("retention_counts"):
+        counts = ", ".join(f"{tier}: {n}" for tier, n in sorted(
+            telemetry["retention_counts"].items()))
+        parts.append(f'<div class="stat-label">trace retention — '
+                     f"{_esc(counts)}</div>")
+    return "".join(parts)
+
+
+def _tail_demo_section(demo: Optional[dict]) -> str:
+    if not demo:
+        return ""
+    verdict = ("tail retention kept every slowest-decile trace that head "
+               "sampling dropped"
+               if demo["slowest_kept_by_tail"]
+               and demo["slowest_dropped_by_head"]
+               else "tail-vs-head demonstration did NOT hold on this run")
+    rows = []
+    head = set(demo["head_retained"])
+    tiers = demo.get("tail_tiers", {})
+    slowest = set(demo["slowest_decile"])
+    for trace_id, duration in demo["root_durations"]:
+        rows.append(
+            f"<tr><td><code>{_esc(trace_id)}</code></td>"
+            f"<td class=\"num\">{_fmt(duration * 1e3)}ms</td>"
+            f"<td>{'yes' if trace_id in slowest else ''}</td>"
+            f"<td>{'kept' if trace_id in head else 'dropped'}</td>"
+            f"<td>{_esc(tiers.get(trace_id, 'dropped'))}</td></tr>")
+    return (
+        "<h2>tail-vs-head retention</h2>"
+        f'<div class="meta">{_esc(verdict)} '
+        f"(budget {demo['sample_rate']:g}, "
+        f"{demo['sessions']} sessions, contended index "
+        f"{demo['slow_index']}).</div>"
+        "<table><tr><th>trace</th><th>root duration</th>"
+        "<th>slowest decile</th><th>head arm</th><th>tail arm</th></tr>"
+        + "".join(rows) + "</table>")
+
+
+def _drill_section(drill: Optional[dict]) -> str:
+    if not drill:
+        return ""
+    rows = "".join(
+        f"<tr><td class=\"num\">{_fmt(t['ts'])}s</td>"
+        f"<td>{_esc(t['rule'])}</td><td>{_state_chip(t['from'])}</td>"
+        f"<td>{_state_chip(t['to'])}</td></tr>"
+        for t in drill["transitions"])
+    ok = (drill["visited_pending"] and drill["visited_firing"]
+          and drill["visited_resolved"])
+    verdict = ("the fault-burst rule walked pending, firing and resolved"
+               if ok else "the drill did NOT complete the lifecycle")
+    return ("<h2>fault drill</h2>"
+            f'<div class="meta">{_esc(verdict)}.</div>'
+            "<table><tr><th>sim time</th><th>rule</th><th>from</th>"
+            f"<th>to</th></tr>{rows}</table>")
+
+
+def render_dashboard(result_dict: dict) -> str:
+    """The full dashboard page for one ``MonitorResult.to_dict()``."""
+    families = result_dict.get("exemplar_families", {})
+    family_rows = "".join(
+        f"<tr><td><code>{_esc(name)}</code></td>"
+        f"<td class=\"num\">{count}</td></tr>"
+        for name, count in sorted(families.items()))
+    body = [
+        "<h1>repro monitor</h1>",
+        f'<div class="meta">scenario <code>'
+        f"{_esc(result_dict['scenario'])}</code> · seed "
+        f"{result_dict['seed']} · dropped points "
+        f"{result_dict['dropped_points']}</div>",
+    ]
+    if family_rows:
+        body.append("<h2>exemplar coverage</h2>"
+                    "<table><tr><th>latency histogram</th>"
+                    f"<th>exemplars</th></tr>{family_rows}</table>")
+    body.append(_tail_demo_section(result_dict.get("tail_demo")))
+    body.append(_drill_section(result_dict.get("drill")))
+    for telemetry in result_dict.get("scenarios", []):
+        body.append(_scenario_section(telemetry))
+    body.append('<div class="footnote">All times are simulated seconds; '
+                "the file is a deterministic artifact of the run "
+                "(see docs/monitoring.md).</div>")
+    return ("<!DOCTYPE html><html lang=\"en\"><head>"
+            '<meta charset="utf-8">'
+            '<meta name="viewport" content="width=device-width, '
+            'initial-scale=1">'
+            "<title>repro monitor</title>"
+            f"<style>{_CSS}</style></head><body>"
+            + "".join(body) + "</body></html>")

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.observability.metrics import (
+    Exemplar,
     HistogramChild,
     MetricFamily,
     MetricsRegistry,
@@ -46,6 +47,12 @@ def _label_str(labels: Dict[str, str], extra: str = "") -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+def format_exemplar(exemplar: Exemplar) -> str:
+    """OpenMetrics exemplar suffix: ``# {trace_id="..."} value ts``."""
+    return (f' # {{trace_id="{_escape_label_value(exemplar.trace_id)}"}} '
+            f"{format_value(exemplar.value)} {format_value(exemplar.ts)}")
+
+
 def _render_family(family: MetricFamily) -> List[str]:
     lines = [
         f"# HELP {family.name} {_escape_help(family.help)}",
@@ -53,12 +60,16 @@ def _render_family(family: MetricFamily) -> List[str]:
     ]
     for labels, child in family.samples():
         if isinstance(child, HistogramChild):
-            for bound, cumulative in child.cumulative_buckets():
+            for index, (bound, cumulative) in enumerate(
+                    child.cumulative_buckets()):
                 le = "+Inf" if math.isinf(bound) else format_value(bound)
                 extra = 'le="' + le + '"'
+                exemplar = child.exemplar_for(index)
+                suffix = (format_exemplar(exemplar)
+                          if exemplar is not None else "")
                 lines.append(
                     f"{family.name}_bucket{_label_str(labels, extra=extra)}"
-                    f" {cumulative}"
+                    f" {cumulative}{suffix}"
                 )
             lines.append(f"{family.name}_sum{_label_str(labels)} "
                          f"{format_value(child.sum)}")
@@ -78,23 +89,37 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def snapshot_dict(registry: MetricsRegistry) -> dict:
-    """The registry as plain data (the JSON exporter's payload)."""
+def snapshot_dict(registry: MetricsRegistry,
+                  now: Optional[float] = None) -> dict:
+    """The registry as plain data (the JSON exporter's payload).
+
+    ``now`` stamps the snapshot with the simulated time it was taken at
+    (``sim_time``), which is what lets two snapshots be diffed into
+    rates (``repro metrics --diff``, :mod:`repro.observability.snapshots`).
+    """
     metrics = []
     for family in registry.collect():
         samples = []
         for labels, child in family.samples():
             if isinstance(child, HistogramChild):
+                buckets = []
+                for index, (bound, cumulative) in enumerate(
+                        child.cumulative_buckets()):
+                    entry = {"le": ("+Inf" if math.isinf(bound) else bound),
+                             "count": cumulative}
+                    exemplar = child.exemplar_for(index)
+                    if exemplar is not None:
+                        entry["exemplar"] = {
+                            "trace_id": exemplar.trace_id,
+                            "value": exemplar.value,
+                            "ts": exemplar.ts,
+                        }
+                    buckets.append(entry)
                 samples.append({
                     "labels": labels,
                     "count": child.count,
                     "sum": child.sum,
-                    "buckets": [
-                        {"le": ("+Inf" if math.isinf(bound)
-                                else bound),
-                         "count": cumulative}
-                        for bound, cumulative in child.cumulative_buckets()
-                    ],
+                    "buckets": buckets,
                 })
             else:
                 samples.append({"labels": labels, "value": child.value})
@@ -105,12 +130,16 @@ def snapshot_dict(registry: MetricsRegistry) -> dict:
             "label_names": list(family.label_names),
             "samples": samples,
         })
-    return {"metrics": metrics}
+    out: dict = {"metrics": metrics}
+    if now is not None:
+        out["sim_time"] = now
+    return out
 
 
-def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+def render_json(registry: MetricsRegistry, indent: int = 2,
+                now: Optional[float] = None) -> str:
     """The full registry as a JSON document."""
-    return json.dumps(snapshot_dict(registry), indent=indent)
+    return json.dumps(snapshot_dict(registry, now=now), indent=indent)
 
 
 def save_snapshot(registry: MetricsRegistry, path: str,

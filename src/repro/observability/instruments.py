@@ -20,6 +20,17 @@ def _vm_of(device_id: str) -> str:
     return device_id.split(".", 1)[0]
 
 
+def _exemplar_of(spans):
+    """``(trace_id, sim_ts)`` from a bound recorder, or ``None``.
+
+    Centralizes the double gate every latency histogram shares: no
+    recorder bound (bare unit tests) or exemplar capture off (default
+    runs, which must export byte-identical snapshots) both yield
+    ``None``, which :meth:`HistogramChild.observe` treats as absent.
+    """
+    return spans.exemplar() if spans is not None else None
+
+
 class RankInstruments:
     """Telemetry of one physical (or emulated) rank."""
 
@@ -79,8 +90,10 @@ class RankInstruments:
 class FrontendInstruments:
     """Telemetry of one vUPMEM frontend (the guest driver side)."""
 
-    def __init__(self, registry: MetricsRegistry, device_id: str) -> None:
+    def __init__(self, registry: MetricsRegistry, device_id: str,
+                 spans=None) -> None:
         self.registry = registry
+        self._spans = spans
         ids = dict(vm=_vm_of(device_id), device=device_id)
         lookups = instrument(registry,
                              "repro_frontend_prefetch_lookups_total")
@@ -124,7 +137,8 @@ class FrontendInstruments:
 
     def request(self, kind: str, duration: float) -> None:
         self._requests.labels(kind=kind, **self._ids).inc()
-        self._request_seconds.labels(kind=kind, **self._ids).observe(duration)
+        self._request_seconds.labels(kind=kind, **self._ids).observe(
+            duration, exemplar=_exemplar_of(self._spans))
 
     def request_count(self, kind: str, count: int) -> None:
         """Requests accounted arithmetically (no modeled round trip)."""
@@ -157,8 +171,10 @@ class FrontendInstruments:
 class BackendInstruments:
     """Telemetry of one vUPMEM backend (the VMM device model side)."""
 
-    def __init__(self, registry: MetricsRegistry, device_id: str) -> None:
+    def __init__(self, registry: MetricsRegistry, device_id: str,
+                 spans=None) -> None:
         self.registry = registry
+        self._spans = spans
         ids = dict(vm=_vm_of(device_id), device=device_id)
         self._requests = instrument(registry, "repro_backend_requests_total")
         self._request_seconds = instrument(registry,
@@ -181,7 +197,8 @@ class BackendInstruments:
 
     def request(self, kind: str, rank: str, duration: float) -> None:
         self._requests.labels(kind=kind, rank=rank, **self._ids).inc()
-        self._request_seconds.labels(kind=kind, **self._ids).observe(duration)
+        self._request_seconds.labels(kind=kind, **self._ids).observe(
+            duration, exemplar=_exemplar_of(self._spans))
 
     def translation(self, pages: int, duration: float) -> None:
         self._pages.inc(pages)
@@ -346,8 +363,10 @@ class ClusterInstruments:
 class QosInstruments:
     """Telemetry of one QoS flow (``repro.qos``; one binding per VM)."""
 
-    def __init__(self, registry: MetricsRegistry, flow_id: str) -> None:
+    def __init__(self, registry: MetricsRegistry, flow_id: str,
+                 spans=None) -> None:
         self.registry = registry
+        self._spans = spans
         ids = dict(vm=flow_id)
         self._arbitrations = instrument(registry,
                                         "repro_qos_arbitrations_total")
@@ -363,8 +382,8 @@ class QosInstruments:
     def arbitration(self, mode: str, wait_seconds: float,
                     cause: str) -> None:
         self._arbitrations.labels(mode=mode, **self._ids).inc()
-        self._arbitration_wait.labels(cause=cause,
-                                      **self._ids).observe(wait_seconds)
+        self._arbitration_wait.labels(cause=cause, **self._ids).observe(
+            wait_seconds, exemplar=_exemplar_of(self._spans))
 
     def throttled(self, resource: str, wait_seconds: float) -> None:
         self._throttled.labels(resource=resource, **self._ids).inc()
@@ -405,8 +424,10 @@ class PagingInstruments:
     ``predictive`` (swap-in started while the request queued).
     """
 
-    def __init__(self, registry: MetricsRegistry, policy: str) -> None:
+    def __init__(self, registry: MetricsRegistry, policy: str,
+                 spans=None) -> None:
         self.registry = registry
+        self._spans = spans
         swaps = instrument(registry, "repro_paging_swaps_total")
         swap_bytes = instrument(registry, "repro_paging_swap_bytes_total")
         swap_seconds = instrument(registry, "repro_paging_swap_seconds")
@@ -430,7 +451,7 @@ class PagingInstruments:
         swaps, swap_bytes, swap_seconds = self._swap_bound[direction]
         swaps.inc()
         swap_bytes.inc(nbytes)
-        swap_seconds.observe(duration)
+        swap_seconds.observe(duration, exemplar=_exemplar_of(self._spans))
 
     def fault(self, kind: str) -> None:
         self._faults.labels(kind=kind).inc()
@@ -524,6 +545,10 @@ class SpanInstruments:
         self._dropped = instrument(registry, "repro_span_dropped_total")
         self._traces = instrument(registry, "repro_span_traces_total")
         self._started_by_layer: Dict[str, object] = {}
+        # Registered on first use, not at construction: the retention
+        # family only exists when tail sampling is on, so default-run
+        # snapshots keep their pre-telemetry family set byte-for-byte.
+        self._retention = None
 
     def started(self, layer: str, count: int = 1) -> None:
         # Bound per layer on first use: this runs once per span started.
@@ -538,3 +563,63 @@ class SpanInstruments:
 
     def trace(self, retained: bool) -> None:
         self._traces.labels(retained=str(bool(retained)).lower()).inc()
+
+    def retention(self, tier: str) -> None:
+        """One finished trace classified into ``tier`` by the tail sampler."""
+        if self._retention is None:
+            self._retention = instrument(self.registry,
+                                         "repro_span_retention_total")
+        self._retention.labels(tier=tier).inc()
+
+
+class TsdbInstruments:
+    """Self-telemetry of the time-series store.
+
+    These live in the *same* registry the store scrapes, so a store that
+    drops points reports that fact in its own next scrape — the CI smoke
+    job fails the build on any nonzero drop counter.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._scrapes = instrument(registry, "repro_tsdb_scrapes_total")
+        self._samples = instrument(registry, "repro_tsdb_samples_total")
+        self._dropped = instrument(registry,
+                                   "repro_tsdb_dropped_points_total")
+        self._series = instrument(registry, "repro_tsdb_series")
+
+    def scrape(self, samples: int) -> None:
+        self._scrapes.inc()
+        if samples:
+            self._samples.inc(samples)
+
+    def dropped(self, name: str, count: int = 1) -> None:
+        self._dropped.labels(name=name).inc(count)
+
+    def series_count(self, count: int) -> None:
+        self._series.set(count)
+
+
+class AlertInstruments:
+    """Telemetry of the alert-rule engine (``repro.observability.alerts``)."""
+
+    _STATES = ("inactive", "pending", "firing", "resolved")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._state = instrument(registry, "repro_alert_state")
+        self._transitions = instrument(registry,
+                                       "repro_alert_transitions_total")
+        self._evaluations = instrument(registry,
+                                       "repro_alert_evaluations_total")
+
+    def state(self, rule: str, state: str) -> None:
+        for candidate in self._STATES:
+            self._state.labels(rule=rule, state=candidate).set(
+                1.0 if candidate == state else 0.0)
+
+    def transition(self, rule: str, to_state: str) -> None:
+        self._transitions.labels(rule=rule, to_state=to_state).inc()
+
+    def evaluation(self, rule: str) -> None:
+        self._evaluations.labels(rule=rule).inc()

@@ -25,9 +25,26 @@ from __future__ import annotations
 
 import math
 import re
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True, slots=True)
+class Exemplar:
+    """One trace reference attached to a histogram bucket.
+
+    The OpenMetrics exemplar model: which trace produced an observation
+    that landed in this bucket, the observed value, and the simulated
+    timestamp.  Exporters render it as ``# {trace_id="..."} value ts``
+    after the bucket sample, and the dashboard uses it to jump from a
+    latency bucket straight to the trace that explains it.
+    """
+
+    trace_id: str
+    value: float
+    ts: float
 
 _METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -121,7 +138,7 @@ class HistogramChild(_Child):
     way Prometheus expects ``le`` series.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "exemplars")
 
     def __init__(self, label_values: Tuple[str, ...],
                  buckets: Tuple[float, ...]) -> None:
@@ -130,17 +147,44 @@ class HistogramChild(_Child):
         self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
         self.count = 0
         self.sum = 0.0
+        #: bucket index -> most recent :class:`Exemplar` that landed there
+        #: (the +Inf bucket is index ``len(buckets)``).  Lazily allocated:
+        #: un-exemplared histograms pay one ``None`` check per observe.
+        self.exemplars: Optional[Dict[int, Exemplar]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[Tuple[str, float]] = None) -> None:
+        """Record ``value``; ``exemplar`` is an optional ``(trace_id,
+        sim_ts)`` pair linking the bucket to the trace that produced it."""
         if math.isnan(value):
             raise ObservabilityError("cannot observe NaN")
         self.count += 1
         self.sum += value
+        index = len(self.buckets)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        if exemplar is not None:
+            if self.exemplars is None:
+                self.exemplars = {}
+            trace_id, ts = exemplar
+            self.exemplars[index] = Exemplar(trace_id=trace_id,
+                                             value=value, ts=ts)
+
+    def exemplar_for(self, bucket_index: int) -> Optional[Exemplar]:
+        """The latest exemplar of one bucket (``len(buckets)`` = +Inf)."""
+        if self.exemplars is None:
+            return None
+        return self.exemplars.get(bucket_index)
+
+    def worst_exemplar(self) -> Optional[Exemplar]:
+        """The exemplar from the highest populated bucket — the trace
+        behind this histogram's worst recent latency."""
+        if not self.exemplars:
+            return None
+        return self.exemplars[max(self.exemplars)]
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
@@ -226,8 +270,10 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self._unlabeled().set(value)  # type: ignore[attr-defined]
 
-    def observe(self, value: float) -> None:
-        self._unlabeled().observe(value)  # type: ignore[attr-defined]
+    def observe(self, value: float,
+                exemplar: Optional[Tuple[str, float]] = None) -> None:
+        self._unlabeled().observe(value,  # type: ignore[attr-defined]
+                                  exemplar=exemplar)
 
     # -- introspection ------------------------------------------------------
 

@@ -1,0 +1,163 @@
+"""Parsing and diffing of JSON metric snapshots.
+
+One parser, two consumers: ``repro metrics --diff OLD NEW`` (counters as
+rates, gauges as last) and the monitor dashboard, which renders the same
+parsed form.  The input is whatever :func:`repro.observability.export.
+snapshot_dict` wrote — including the optional ``sim_time`` stamp, which
+is what turns a counter delta into a rate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Sample key inside one family: the sorted label items.
+SampleKey = Tuple[Tuple[str, str], ...]
+
+
+@dataclass
+class SnapshotFamily:
+    """One metric family parsed out of a JSON snapshot."""
+
+    name: str
+    kind: str
+    help: str = ""
+    #: Scalar samples (counter/gauge): label items -> value.
+    values: Dict[SampleKey, float] = field(default_factory=dict)
+    #: Histogram samples: label items -> (count, sum).
+    histograms: Dict[SampleKey, Tuple[float, float]] = field(
+        default_factory=dict)
+    #: Exemplars present on histogram samples: label items -> trace ids.
+    exemplars: Dict[SampleKey, List[str]] = field(default_factory=dict)
+
+
+@dataclass
+class Snapshot:
+    """One parsed snapshot: families by name, plus its sim-time stamp."""
+
+    families: Dict[str, SnapshotFamily]
+    sim_time: Optional[float] = None
+
+    def family(self, name: str) -> Optional[SnapshotFamily]:
+        return self.families.get(name)
+
+
+def parse_snapshot(data: dict) -> Snapshot:
+    """Parse a ``snapshot_dict`` payload into a :class:`Snapshot`."""
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ObservabilityError(
+            "not a metrics snapshot (expected a dict with a 'metrics' key)")
+    families: Dict[str, SnapshotFamily] = {}
+    for raw in data["metrics"]:
+        family = SnapshotFamily(name=raw["name"], kind=raw["type"],
+                                help=raw.get("help", ""))
+        for sample in raw.get("samples", ()):
+            key = tuple(sorted(sample.get("labels", {}).items()))
+            if "buckets" in sample:
+                family.histograms[key] = (float(sample["count"]),
+                                          float(sample["sum"]))
+                trace_ids = [b["exemplar"]["trace_id"]
+                             for b in sample["buckets"]
+                             if "exemplar" in b]
+                if trace_ids:
+                    family.exemplars[key] = trace_ids
+            else:
+                family.values[key] = float(sample["value"])
+        families[family.name] = family
+    return Snapshot(families=families, sim_time=data.get("sim_time"))
+
+
+def load_snapshot(path: str) -> Snapshot:
+    """Parse the snapshot JSON file at ``path``."""
+    with open(path) as handle:
+        return parse_snapshot(json.load(handle))
+
+
+@dataclass
+class FamilyDelta:
+    """Per-family change between two snapshots."""
+
+    name: str
+    kind: str
+    #: counters: increase (and rate when elapsed is known); gauges: the
+    #: newer value; histograms: (count increase, sum increase).
+    rows: List[dict] = field(default_factory=list)
+
+
+def diff_snapshots(old: Snapshot, new: Snapshot) -> List[FamilyDelta]:
+    """Per-sample deltas: counters as increases/rates, gauges as last.
+
+    Families or samples absent from ``old`` diff against zero (they were
+    born between the snapshots); families absent from ``new`` are
+    omitted (nothing to report about a metric that stopped existing).
+    """
+    elapsed: Optional[float] = None
+    if old.sim_time is not None and new.sim_time is not None:
+        span = new.sim_time - old.sim_time
+        if span > 0:
+            elapsed = span
+    deltas: List[FamilyDelta] = []
+    for name in sorted(new.families):
+        family = new.families[name]
+        before = old.families.get(name)
+        delta = FamilyDelta(name=name, kind=family.kind)
+        if family.kind == "histogram":
+            for key, (count, total) in sorted(family.histograms.items()):
+                b_count, b_sum = (before.histograms.get(key, (0.0, 0.0))
+                                  if before else (0.0, 0.0))
+                row = {"labels": dict(key), "count": count - b_count,
+                       "sum": total - b_sum}
+                if elapsed is not None:
+                    row["rate"] = (count - b_count) / elapsed
+                delta.rows.append(row)
+        else:
+            for key, value in sorted(family.values.items()):
+                if family.kind == "counter":
+                    prev = before.values.get(key, 0.0) if before else 0.0
+                    row = {"labels": dict(key), "increase": value - prev}
+                    if elapsed is not None:
+                        row["rate"] = (value - prev) / elapsed
+                else:
+                    row = {"labels": dict(key), "value": value}
+                delta.rows.append(row)
+        if delta.rows:
+            deltas.append(delta)
+    return deltas
+
+
+def format_deltas(deltas: List[FamilyDelta],
+                  nonzero_only: bool = True) -> str:
+    """Human-readable rendering of :func:`diff_snapshots` output."""
+    lines: List[str] = []
+    for delta in deltas:
+        rows = delta.rows
+        if nonzero_only:
+            def _moved(row: dict) -> bool:
+                if delta.kind == "counter":
+                    return row["increase"] != 0
+                if delta.kind == "histogram":
+                    return row["count"] != 0
+                return True
+            rows = [row for row in rows if _moved(row)]
+        if not rows:
+            continue
+        lines.append(f"{delta.name} ({delta.kind})")
+        for row in rows:
+            labels = ",".join(f"{k}={v}" for k, v in row["labels"].items())
+            label_str = f"{{{labels}}}" if labels else ""
+            if delta.kind == "counter":
+                body = f"+{row['increase']:g}"
+                if "rate" in row:
+                    body += f" ({row['rate']:g}/s)"
+            elif delta.kind == "histogram":
+                body = f"+{row['count']:g} obs, +{row['sum']:g}s"
+                if "rate" in row:
+                    body += f" ({row['rate']:g}/s)"
+            else:
+                body = f"{row['value']:g}"
+            lines.append(f"  {label_str or '(no labels)'} {body}")
+    return "\n".join(lines) if lines else "(no change)"

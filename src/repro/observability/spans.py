@@ -32,11 +32,12 @@ import json
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.observability.instruments import SpanInstruments
 from repro.observability.logs import TraceLogger
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.stats import DecayedMean
 
 #: Stack layers, in top-down order.  The Perfetto export gives each its
 #: own named track; :func:`~repro.observability.critical_path.
@@ -115,6 +116,9 @@ class Trace:
     root: Optional[Span] = None
     faulted: bool = False
     sampled: bool = True
+    #: Why the trace was retained: ``fault`` / ``tail`` / ``head``, or
+    #: ``""`` for traces that no tier claimed (discarded).
+    retention: str = ""
     #: Spans not buffered because the per-trace cap was hit.
     dropped_spans: int = 0
 
@@ -157,11 +161,29 @@ class SpanRecorder:
     def __init__(self, clock, sample_rate: float = 1.0,
                  max_spans_per_trace: int = 100_000,
                  max_traces: int = 256,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 tail_sampling: bool = False,
+                 tail_factor: float = 2.0,
+                 tail_min_samples: int = 8,
+                 tail_decay: float = 0.3,
+                 capture_exemplars: bool = False) -> None:
         self.clock = clock
         self.sample_rate = sample_rate
         self.max_spans_per_trace = max_spans_per_trace
         self.max_traces = max_traces
+        #: Tail-based retention (off by default so replays stay
+        #: byte-identical): a finished trace whose root duration exceeds
+        #: ``tail_factor`` times the decayed mean of its root layer's
+        #: recent durations is kept even if head sampling discarded it.
+        self.tail_sampling = tail_sampling
+        self.tail_factor = tail_factor
+        self.tail_min_samples = tail_min_samples
+        self.tail_decay = tail_decay
+        self._tail_baseline: Dict[str, DecayedMean] = {}
+        #: Hand out histogram exemplars?  Off by default: exemplar
+        #: suffixes change the exported snapshot text, and default runs
+        #: must stay bit-identical to pre-telemetry builds.
+        self.capture_exemplars = capture_exemplars
         self.obs = SpanInstruments(registry) if registry is not None else None
         #: Finished traces that survived sampling/caps, oldest first.
         self.traces: List[Trace] = []
@@ -367,6 +389,39 @@ class SpanRecorder:
             if isinstance(faults, list):
                 faults.append(kind)
 
+    def _classify(self, trace: Trace) -> str:
+        """Retention tier of a finished trace, decided at *finish* time.
+
+        ``fault`` always wins; ``tail`` claims traces whose root duration
+        stands out against the decayed per-layer baseline (only after the
+        baseline has seen ``tail_min_samples`` roots, so a cold start
+        cannot mark everything an outlier); ``head`` is the fallback tier
+        the start-time sampling decision feeds.  The baseline is scored
+        *before* it absorbs this root — a trace is compared against its
+        history, not against itself — and faulted roots never feed it
+        (recovery reruns would drag the mean up and mask real outliers).
+        """
+        tier = ""
+        root = trace.root
+        duration = root.duration if root is not None else None
+        if trace.faulted:
+            tier = "fault"
+        elif (self.tail_sampling and duration is not None
+                and root is not None):
+            baseline = self._tail_baseline.get(root.layer)
+            if baseline is None:
+                baseline = DecayedMean(self.tail_decay)
+                self._tail_baseline[root.layer] = baseline
+            if (baseline.n >= self.tail_min_samples
+                    and duration > self.tail_factor * baseline.mean):
+                tier = "tail"
+        if (not trace.faulted and self.tail_sampling
+                and duration is not None and root is not None):
+            self._tail_baseline[root.layer].update(duration)
+        if not tier and trace.sampled:
+            tier = "head"
+        return tier
+
     def _finish_trace(self) -> None:
         trace = self._trace
         self._trace = None
@@ -374,17 +429,23 @@ class SpanRecorder:
             return
         self.traces_finished += 1
         self.last_root = trace.root
-        keep = trace.sampled or trace.faulted
+        tier = self._classify(trace)
+        trace.retention = tier
+        keep = bool(tier)
         if keep and len(self.traces) >= self.max_traces:
             self._drop("trace_cap", len(trace.spans))
             keep = False
         if keep:
+            if self.tail_sampling and trace.root is not None:
+                trace.root.attributes["retention"] = tier
             self.traces.append(trace)
             self.traces_retained += 1
         self._last_finished = trace
         self._last_kept = keep
         if self.obs is not None:
             self.obs.trace(retained=keep)
+            if self.tail_sampling:
+                self.obs.retention(tier or "none")
 
     def mark_last_faulted(self, kind: str) -> None:
         """Retroactively flag the most recently finished trace as faulted.
@@ -400,10 +461,13 @@ class SpanRecorder:
         if trace is None:
             return
         trace.faulted = True
+        trace.retention = "fault"
         if trace.root is not None:
             faults = trace.root.attributes.setdefault("faults", [])
             if isinstance(faults, list):
                 faults.append(kind)
+            if self.tail_sampling:
+                trace.root.attributes["retention"] = "fault"
         if not self._last_kept:
             if len(self.traces) >= self.max_traces:
                 self._drop("trace_cap", len(trace.spans))
@@ -413,6 +477,23 @@ class SpanRecorder:
                 self._last_kept = True
 
     # -- queries -------------------------------------------------------------
+
+    def exemplar(self) -> Optional[Tuple[str, float]]:
+        """``(trace_id, sim_ts)`` of the active trace, or ``None``.
+
+        This is what histogram instrumentation attaches to an
+        observation so the bucket it lands in carries a pointer back to
+        the request that produced it (OpenMetrics exemplars).  The
+        timestamp is the innermost open span's cursor — the simulated
+        instant the observed operation completed at.  Returns ``None``
+        unless ``capture_exemplars`` is on (the monitor pipeline enables
+        it; default runs keep exemplar-free snapshots)."""
+        if not self.capture_exemplars:
+            return None
+        span = self.current
+        if span is None:
+            return None
+        return (span.trace_id, span.cursor)
 
     def latest(self) -> Optional[Trace]:
         """The most recently retained trace."""

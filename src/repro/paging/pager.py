@@ -96,7 +96,8 @@ class RankPager:
                                   half_life_s=config.wss_half_life_s)
         self.stats = PagerStats()
         self.obs = PagingInstruments(self.machine.metrics,
-                                     policy=config.policy)
+                                     policy=config.policy,
+                                     spans=self.machine.spans)
         self._vranks: Dict[int, _VRankEntry] = {}
         self._free_frames: List[int] = []
         self._dirty_frames: set = set()

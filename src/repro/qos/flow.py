@@ -44,7 +44,7 @@ class QosFlow:
             if config.bytes_per_s is not None else None)
         self._byte_rate_floor = (
             config.bytes_per_s if config.bytes_per_s is not None else 0.0)
-        self.obs = (QosInstruments(metrics, flow_id)
+        self.obs = (QosInstruments(metrics, flow_id, spans=spans)
                     if metrics is not None else None)
         self.spans = spans
         if self.obs is not None:

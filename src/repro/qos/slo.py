@@ -24,6 +24,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import SloInstruments
+from repro.observability.stats import percentile_linear
 
 
 @dataclass(frozen=True)
@@ -47,18 +48,10 @@ class SloObjective:
                 "latency nor a throughput target")
 
 
-def _percentile(samples: List[float], q: float) -> float:
-    """Linear-interpolation percentile (numpy's default), dependency-free."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * q
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+# Linear-interpolation percentile (numpy's default); the implementation
+# moved to the shared stats module, this alias keeps call sites and the
+# existing tests' import path stable.
+_percentile = percentile_linear
 
 
 class SloTracker:

@@ -155,19 +155,22 @@ class VUpmemBackend:
         #: worker raises :class:`~repro.errors.BackendHungError` here,
         #: before side effects, so the frontend's retry is idempotent.
         self.fault_hook = None
+        #: Trace context; shared with the frontend (assigned below) so
+        #: request-latency exemplars point at the live trace.
+        self.spans = spans or SpanRecorder(SimClock())
         #: Live telemetry (translation/interleave timings, request counts
         #: labeled by the currently bound rank).
         self.obs = BackendInstruments(metrics or MetricsRegistry(),
-                                      device_id)
+                                      device_id, spans=self.spans)
         #: TLB-style GPA→HVA run cache (hits skip bounds re-validation).
         self.xlb = TranslationCache(guest_memory)
         #: Scratch-buffer pool backing gathers and pooled rank reads;
         #: per-backend so chaos drills can assert loan stability.
         self.pool = BufferPool()
-        #: Trace context; shares the machine recorder when built by
+        #: (``self.spans`` is assigned before ``self.obs`` above: shares
+        #: the machine recorder when built by
         #: :class:`~repro.virt.firecracker.Firecracker`, making each
-        #: backend span a child of the frontend request that caused it.
-        self.spans = spans or SpanRecorder(SimClock())
+        #: backend span a child of the frontend request that caused it.)
 
     # -- rank linking -------------------------------------------------------
 

@@ -182,12 +182,12 @@ class VUpmemFrontend:
         #: latencies); shares the machine registry when built by
         #: :class:`~repro.virt.firecracker.Firecracker`.
         registry = metrics or MetricsRegistry()
-        self.obs = FrontendInstruments(registry, device_id)
-        self.fault_obs = FaultInstruments(registry)
         #: Trace context; shares the machine recorder when built by
         #: :class:`~repro.virt.firecracker.Firecracker`, so frontend
         #: request spans parent the backend spans they trigger.
         self.spans = spans or SpanRecorder(profiler.clock)
+        self.obs = FrontendInstruments(registry, device_id, spans=self.spans)
+        self.fault_obs = FaultInstruments(registry)
         #: Span ids of batched-write copies awaiting a flush; the flush
         #: span links them so the absorbed writes stay attributable.
         self._batch_span_ids: List[int] = []

@@ -1,0 +1,82 @@
+"""Perfetto export: named per-layer tracks and retention metadata."""
+
+from __future__ import annotations
+
+from repro.hardware.clock import SimClock
+from repro.observability.spans import LAYERS, SpanRecorder
+
+
+def _run_trace(spans, clock, swap_s, session_s):
+    root = spans.begin("session.run", "session")
+    swap = spans.begin("paging.swap_out", "paging")
+    swap.attributes["direction"] = "out"
+    clock.advance(swap_s)
+    spans.end(swap, end=clock.now)
+    clock.advance(session_s - swap_s)
+    spans.end(root, end=clock.now)
+
+
+def _recorder_with_tail_trace():
+    """Ten unremarkable traces, then one 10x slower: with head sampling
+    off entirely, only the slow one survives — by the tail tier."""
+    clock = SimClock()
+    spans = SpanRecorder(clock, sample_rate=0.0, tail_sampling=True,
+                         tail_factor=1.5)
+    for _ in range(10):
+        _run_trace(spans, clock, swap_s=0.002, session_s=0.01)
+    _run_trace(spans, clock, swap_s=0.08, session_s=0.1)
+    return spans
+
+
+class TestTailRetentionMetadata:
+    def test_only_the_slow_trace_is_retained(self):
+        spans = _recorder_with_tail_trace()
+        assert spans.traces_finished == 11
+        assert len(spans.traces) == 1
+        assert spans.traces[0].retention == "tail"
+
+    def test_root_span_args_carry_retention(self):
+        spans = _recorder_with_tail_trace()
+        doc = spans.to_perfetto()
+        roots = [e for e in doc["traceEvents"]
+                 if e.get("ph") == "X" and e["name"] == "session.run"]
+        assert len(roots) == 1
+        assert roots[0]["args"]["retention"] == "tail"
+
+
+class TestNamedTracks:
+    def test_paging_layer_gets_its_own_named_track(self):
+        spans = _recorder_with_tail_trace()
+        doc = spans.to_perfetto()
+        names = {e["tid"]: e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        paging_tid = LAYERS.index("paging") + 1
+        assert names[paging_tid] == "paging"
+
+    def test_paging_spans_land_on_the_paging_track(self):
+        spans = _recorder_with_tail_trace()
+        doc = spans.to_perfetto()
+        paging_tid = LAYERS.index("paging") + 1
+        swaps = [e for e in doc["traceEvents"]
+                 if e.get("ph") == "X" and e["cat"] == "paging"]
+        assert swaps
+        assert all(e["tid"] == paging_tid for e in swaps)
+        assert swaps[0]["args"]["direction"] == "out"
+
+    def test_track_sort_follows_layer_order(self):
+        spans = _recorder_with_tail_trace()
+        doc = spans.to_perfetto()
+        sort_index = {e["tid"]: e["args"]["sort_index"]
+                      for e in doc["traceEvents"]
+                      if e.get("ph") == "M"
+                      and e["name"] == "thread_sort_index"}
+        session_tid = LAYERS.index("session") + 1
+        paging_tid = LAYERS.index("paging") + 1
+        assert sort_index[session_tid] < sort_index[paging_tid]
+
+    def test_other_data_reports_retention_counts(self):
+        spans = _recorder_with_tail_trace()
+        doc = spans.to_perfetto()
+        assert doc["otherData"]["traces_retained"] == 1
+        assert doc["otherData"]["traces_finished"] == 11

@@ -163,6 +163,34 @@ class TestPagingDocMetricTable:
                 f"catalog declares {spec.labels}")
 
 
+class TestMonitoringDocMetricTable:
+    """docs/monitoring.md carries the telemetry-pipeline families' rows;
+    they must match the catalog exactly, like observability.md's."""
+
+    @pytest.fixture(scope="class")
+    def table_rows(self) -> list:
+        text = (REPO_ROOT / "docs" / "monitoring.md").read_text()
+        rows = re.findall(r"^\| `(repro_[a-z0-9_]+)` \|[^|]+\| ([^|]*) \|",
+                          text, re.MULTILINE)
+        assert rows, "metric table not found in docs/monitoring.md"
+        return rows
+
+    def test_every_pipeline_family_has_a_row(self, table_rows):
+        pipeline_families = {
+            name for name in CATALOG
+            if name.startswith(("repro_tsdb_", "repro_alert_"))
+        } | {"repro_span_retention_total"}
+        assert pipeline_families == {name for name, _ in table_rows}
+
+    def test_documented_labels_match_catalog(self, table_rows):
+        for name, label_cell in table_rows:
+            spec = CATALOG[name]
+            documented = tuple(re.findall(r"`([^`]+)`", label_cell))
+            assert documented == spec.labels, (
+                f"{name}: docs/monitoring.md lists labels {documented}, "
+                f"catalog declares {spec.labels}")
+
+
 def test_readme_mentions_metrics_cli():
     text = (REPO_ROOT / "README.md").read_text()
     assert "metrics" in text
