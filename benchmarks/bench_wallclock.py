@@ -42,12 +42,13 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import math
 import os
 import platform
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -58,10 +59,15 @@ from repro.analysis.figures import SIZE_PROFILES, machine_for_dpus  # noqa: E402
 from repro.apps.registry import PRIM_APPS, app_by_short_name  # noqa: E402
 from repro.config import MRAM_HEAP_SYMBOL, PAGE_SIZE  # noqa: E402
 from repro.core import VPim  # noqa: E402
-from repro.hardware.interleave import deinterleave, interleave  # noqa: E402
+from repro.hardware.bufpool import BufferPool  # noqa: E402
+from repro.hardware.interleave import (  # noqa: E402
+    deinterleave_into,
+    interleave_into,
+)
 from repro.hardware.memory import MemoryRegion  # noqa: E402
 from repro.sdk.transfer import uniform_write  # noqa: E402
 from repro.virt.guest_memory import GuestMemory  # noqa: E402
+from repro.virt.opts import OptimizationConfig  # noqa: E402
 from repro.virt.serialization import (  # noqa: E402
     RequestHeader,
     RequestKind,
@@ -107,11 +113,15 @@ def micro_interleave(quick: bool) -> Dict[str, float]:
     nbytes = (4 << 20) if quick else (16 << 20)
     data = (np.arange(nbytes, dtype=np.int64) % 251).astype(np.uint8)
     repeats = 5
+    pool = BufferPool()
 
     def roundtrip():
-        deinterleave(interleave(data))
+        with pool.lease(nbytes) as fwd, pool.lease(nbytes) as back:
+            interleave_into(data, fwd)
+            deinterleave_into(fwd, back)
 
     secs = _best_of(roundtrip, repeats)
+    assert pool.outstanding == 0, "interleave scratch leaked out of lease"
     return {"seconds": secs, "bytes": 2 * nbytes,
             "ns_per_byte": secs / (2 * nbytes) * 1e9}
 
@@ -190,50 +200,88 @@ MICROS: Dict[str, Callable[[bool], Dict[str, float]]] = {
 
 # -- the PrIM suite -----------------------------------------------------------
 
-def run_suite(quick: bool, nr_dpus: int = 64,
-              repeats: int = 2) -> Dict[str, dict]:
+def run_suite(quick: bool, nr_dpus: int = 64, repeats: int = 2,
+              opts: Optional[OptimizationConfig] = None) -> Dict[str, dict]:
     """Run the 16 PrIM apps end-to-end through a vPIM VM session.
 
     ``quick`` selects the CI-sized "test" workload profile; the full run
     uses the paper-shaped "bench" profile.  Returns per-app wall time
     plus every modeled output the digest covers.
 
-    Each app is timed on ``repeats`` whole-suite passes and the best
-    wall per app is kept (the standard guard against scheduler/steal
-    noise on shared machines).  Passes — rather than back-to-back
-    per-app repeats — matter on virtualized hosts: allocator slow
-    phases (ballooned guests repaying freed mappings with slow
-    refaults) are sticky over hundreds of milliseconds, so an app's
-    second attempt should be temporally separated from its first.  The
-    modeled outputs of every repetition are identical by construction —
-    the digest enforces it across runs.
+    Each app runs ``repeats`` back-to-back repetitions in **one** VM
+    session — the PrIM benchmarks' own rerun-the-kernel shape — and the
+    best wall per app is kept (the standard guard against scheduler
+    noise).  Sharing the session across repetitions is what exercises
+    the shape-specialized plan cache: repetition 1 compiles transfer
+    plans, later repetitions replay them (``docs/performance.md``).
+    Modeled outputs must be identical on every repetition; a mismatch
+    raises instead of silently digesting whichever repetition won.
     """
     profile = "test" if quick else "bench"
     results: Dict[str, dict] = {}
-    # One app instance reused across passes: generating fresh multi-MB
-    # workload arrays per repetition churns large mappings.  Reruns of
-    # one instance are deterministic (same seed, same modeled output).
+    # One app instance reused across repetitions: generating fresh
+    # multi-MB workload arrays per repetition churns large mappings.
+    # Reruns of one instance are deterministic (same seed, same modeled
+    # output).
     apps = {name: app_by_short_name(name).cls(
                 nr_dpus=nr_dpus, **dict(SIZE_PROFILES[profile][name]))
             for name in SUITE_APPS}
-    for _ in range(max(1, repeats)):
-        for name in SUITE_APPS:
-            vpim = VPim(machine_for_dpus(nr_dpus))
-            session = vpim.vm_session(nr_vupmem=1)
+    nr_reps = max(1, repeats)
+    for name in SUITE_APPS:
+        vpim = VPim(machine_for_dpus(nr_dpus))
+        session = vpim.vm_session(nr_vupmem=1, opts=opts)
+        device = session.vm.devices[0]
+        first = None
+        best_wall = float("inf")
+        rep_totals: List[str] = []
+        for rep in range(nr_reps):
             t0 = time.perf_counter()
             report = session.run(apps[name])
             wall = time.perf_counter() - t0
-            best = results.get(name)
-            if best is None or wall < best["wall_s"]:
-                results[name] = {
-                    "wall_s": wall,
-                    "verified": bool(report.verified),
-                    "modeled_total_s": report.total_time,
-                    "segments": {k: v for k, v in
-                                 sorted(report.segments.items())},
-                    "wrank_steps": {k: v for k, v in
-                                    sorted(report.profile.wrank_steps.items())},
-                }
+            assert device.backend.pool.outstanding == 0, \
+                f"{name}: backend scratch pool leaked a buffer"
+            best_wall = min(best_wall, wall)
+            rep_totals.append(float(report.total_time).hex())
+            row = {
+                "verified": bool(report.verified),
+                "modeled_total_s": report.total_time,
+                "segments": {k: v for k, v in
+                             sorted(report.segments.items())},
+                "wrank_steps": {k: v for k, v in
+                                sorted(report.profile.wrank_steps.items())},
+            }
+            if first is None:
+                # The digest covers repetition 1 — a fresh session, the
+                # shape the committed baseline measured; later
+                # repetitions only compete on wall time.
+                first = row
+            else:
+                # Reruns in one session accumulate the profiler clock
+                # from a different base, so segment sums carry ~1e-13 of
+                # float dust; anything beyond that is a real model
+                # change.  (Exact plans-on/off equality is enforced
+                # per-repetition by the ablation comparison.)
+                if row["verified"] != first["verified"]:
+                    raise RuntimeError(
+                        f"{name}: repetition {rep} changed verification")
+                for group in ("segments", "wrank_steps"):
+                    for key in set(row[group]) | set(first[group]):
+                        a = row[group].get(key)
+                        b = first[group].get(key)
+                        if a is None or b is None or \
+                                not math.isclose(a, b, rel_tol=1e-9,
+                                                 abs_tol=1e-12):
+                            raise RuntimeError(
+                                f"{name}: repetition {rep} changed modeled "
+                                f"output {group}.{key} ({a} vs {b})")
+        plans = device.frontend.plans
+        results[name] = dict(
+            first, wall_s=best_wall, nr_reps=nr_reps, rep_totals=rep_totals,
+            plan_cache=(
+                None if plans is None else
+                {"hits": plans.hits, "misses": plans.misses,
+                 "evictions": plans.evictions,
+                 "invalidations": plans.invalidations}))
     return {name: results[name] for name in SUITE_APPS}
 
 
@@ -258,12 +306,37 @@ def modeled_digest(suite: Dict[str, dict]) -> str:
 
 # -- report assembly ----------------------------------------------------------
 
-def measure(quick: bool, repeats: int = 2) -> dict:
+def profile_suite(quick: bool, limit: int = 20) -> List[dict]:
+    """One whole-suite pass under cProfile; top ``limit`` by cumulative.
+
+    A separate single-repetition pass so the profiler's overhead never
+    contaminates the timed measurements or the regression gates.
+    """
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    run_suite(quick, repeats=1)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    rows = sorted(stats.stats.items(), key=lambda kv: kv[1][3],
+                  reverse=True)[:limit]
+    top = []
+    for (path, line, func), (_cc, ncalls, tottime, cumtime, _) in rows:
+        where = func if path == "~" else f"{Path(path).name}:{line}:{func}"
+        top.append({"function": where, "ncalls": ncalls,
+                    "tottime_s": tottime, "cumtime_s": cumtime})
+    return top
+
+
+def measure(quick: bool, repeats: int = 2, ablate_plans: bool = False,
+            profile: bool = False) -> dict:
     calibration = calibrate_memcpy()
     micro = {name: fn(quick) for name, fn in MICROS.items()}
     suite = run_suite(quick, repeats=repeats)
     suite_wall = sum(row["wall_s"] for row in suite.values())
-    return {
+    report = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
         "host": {
@@ -278,6 +351,33 @@ def measure(quick: bool, repeats: int = 2) -> dict:
         "suite_wall_s": suite_wall,
         "modeled_digest": modeled_digest(suite),
     }
+    if ablate_plans:
+        # Same machine, back-to-back arms: the memcpy calibration factor
+        # cancels, so the plain wall ratio IS the calibration-normalized
+        # speedup.
+        off = run_suite(quick, repeats=repeats,
+                        opts=OptimizationConfig(plans=False))
+        off_wall = sum(row["wall_s"] for row in off.values())
+        off_digest = modeled_digest(off)
+        # Bit-identity must hold repetition-by-repetition, not just on
+        # the digested first repetition: a replayed plan may not shift
+        # any repetition's modeled total relative to the naive path.
+        reps_match = all(off[name]["rep_totals"] == suite[name]["rep_totals"]
+                         for name in suite)
+        report["plans_ablation"] = {
+            "off_wall_s": off_wall,
+            "on_wall_s": suite_wall,
+            "speedup": off_wall / suite_wall,
+            "digests_match": (off_digest == report["modeled_digest"]
+                              and reps_match),
+            "off_digest": off_digest,
+            "per_app_speedup": {
+                name: off[name]["wall_s"] / suite[name]["wall_s"]
+                for name in suite},
+        }
+    if profile:
+        report["profile_top20"] = profile_suite(quick)
+    return report
 
 
 def print_report(report: dict, baseline: dict | None = None) -> None:
@@ -296,16 +396,50 @@ def print_report(report: dict, baseline: dict | None = None) -> None:
               f"   {row['modeled_total_s'] * 1e3:9.2f} ms modeled  {mark}")
     print(f"\nsuite wall total: {report['suite_wall_s'] * 1e3:.1f} ms")
     print(f"modeled digest:   {report['modeled_digest'][:32]}…")
+    ablation = report.get("plans_ablation")
+    if ablation:
+        match = "match" if ablation["digests_match"] else "MISMATCH"
+        print(f"plans ablation:   off {ablation['off_wall_s'] * 1e3:.1f} ms"
+              f" -> on {ablation['on_wall_s'] * 1e3:.1f} ms"
+              f"  ({ablation['speedup']:.2f}x, digests {match})")
+    for row in report.get("profile_top20", ()):
+        print(f"  {row['cumtime_s'] * 1e3:9.1f} ms cum"
+              f"  {row['ncalls']:>9} calls  {row['function']}")
     if baseline:
         speed = baseline["suite_wall_s"] / report["suite_wall_s"]
         print(f"baseline suite:   {baseline['suite_wall_s'] * 1e3:.1f} ms"
               f"  -> speedup {speed:.2f}x")
 
 
-def check_regression(report: dict, committed: dict, threshold: float) -> int:
+def check_regression(report: dict, committed: dict, threshold: float,
+                     ablation_floor: float = 1.0) -> int:
     """CI gate: digest must match exactly; wall costs may not regress by
-    more than ``threshold`` after memcpy-speed normalization."""
+    more than ``threshold`` after memcpy-speed normalization.
+
+    When the run carried a plans ablation, it must also prove the plan
+    cache is working: both arms bit-identical, suite speedup at least
+    ``ablation_floor``, and every multi-repetition app must have replayed
+    at least one plan.
+    """
     failures = []
+    ablation = report.get("plans_ablation")
+    if ablation:
+        if not ablation["digests_match"]:
+            failures.append(
+                "plans ablation digest mismatch: plans-on and plans-off "
+                f"modeled outputs differ ({ablation['off_digest'][:16]}… "
+                f"off vs {report['modeled_digest'][:16]}… on)")
+        if ablation["speedup"] < ablation_floor:
+            failures.append(
+                f"plans ablation speedup {ablation['speedup']:.3f}x is "
+                f"below the floor {ablation_floor:.2f}x")
+        for app, row in report["suite"].items():
+            stats = row.get("plan_cache")
+            if (stats is not None and row.get("nr_reps", 1) > 1
+                    and stats["hits"] == 0):
+                failures.append(
+                    f"{app}: ran {row['nr_reps']} repetitions but replayed "
+                    "no plan (plan_cache hits == 0)")
     if committed.get("mode") != report["mode"]:
         print(f"note: committed artifact is mode={committed.get('mode')!r}, "
               f"this run is mode={report['mode']!r}; comparing anyway")
@@ -365,9 +499,19 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=2,
                         help="wall-time repetitions per app, best kept "
                              "(default 2)")
+    parser.add_argument("--ablate-plans", action="store_true",
+                        help="also run the suite with the plan cache off "
+                             "and record the speedup + digest comparison")
+    parser.add_argument("--ablation-floor", type=float, default=1.0,
+                        help="minimum plans-off/plans-on suite speedup "
+                             "--check accepts (default 1.0)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one suite pass; record the top-20 "
+                             "cumulative hot functions")
     args = parser.parse_args(argv)
 
-    report = measure(quick=args.quick, repeats=args.repeats)
+    report = measure(quick=args.quick, repeats=args.repeats,
+                     ablate_plans=args.ablate_plans, profile=args.profile)
 
     baseline = None
     if args.baseline and args.baseline.exists():
@@ -392,7 +536,8 @@ def main(argv: List[str] | None = None) -> int:
             rc = 1
         else:
             committed = json.loads(args.artifact.read_text())
-            rc = check_regression(report, committed, args.threshold)
+            rc = check_regression(report, committed, args.threshold,
+                                  ablation_floor=args.ablation_floor)
 
     if args.update and rc == 0:
         args.artifact.write_text(json.dumps(report, indent=2,

@@ -408,8 +408,14 @@ def cmd_bench(args) -> int:
         print(f"benchmark harness not found at {path}", file=sys.stderr)
         return 2
     argv = []
-    if args.profile == "test":
+    if args.profile in ("test", "cprofile"):
         argv.append("--quick")
+    if args.profile == "cprofile":
+        if args.cache:
+            print("--profile (cProfile mode) only applies to the "
+                  "wall-clock harness, not --cache", file=sys.stderr)
+            return 2
+        argv.append("--profile")
     if args.check:
         argv.append("--check")
     module = runpy.run_path(str(path))
@@ -625,8 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--check", action="store_true",
                      help="fail on regression/divergence vs the committed "
                           "artifact")
-    ben.add_argument("--profile", choices=["test", "bench"], default="test",
-                     help="test = --quick sizing; bench = full")
+    ben.add_argument("--profile", nargs="?", const="cprofile",
+                     choices=["test", "bench", "cprofile"], default="test",
+                     help="test = --quick sizing; bench = full; bare "
+                          "--profile = cProfile the suite (quick sizing) "
+                          "and print the top-20 cumulative hot functions")
     ben.set_defaults(fn=cmd_bench)
 
     qos = sub.add_parser(

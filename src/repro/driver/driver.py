@@ -160,6 +160,16 @@ class PerfModeMapping:
         _, duration = apply_matrix_to_rank(self.rank, matrix, rust_interleave)
         return duration
 
+    def write_pinned(self, pinned, rust_interleave: bool = False) -> float:
+        """Replay a pre-resolved MRAM write (plan-cache fast path).
+
+        Same accounting and duration as :meth:`write` for the matrix the
+        :class:`~repro.hardware.rank.PinnedMramWrite` was compiled from.
+        """
+        self._check()
+        return self.rank.write_mram_pinned(pinned,
+                                           rust_interleave=rust_interleave)
+
     def read(self, matrix: TransferMatrix, rust_interleave: bool = False,
              into: Optional[List[np.ndarray]] = None,
              ) -> Tuple[List[np.ndarray], float]:

@@ -75,17 +75,15 @@ def interleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
     array laid out as ``nr_chips`` contiguous per-chip streams.
     """
     flat = _as_flat_u8(data, nr_chips, "interleave")
-    out = np.empty(flat.size, dtype=np.uint8)
-    out.reshape(nr_chips, -1)[...] = flat.reshape(-1, nr_chips).T
-    return out
+    return interleave_into(flat, np.empty(flat.size, dtype=np.uint8),
+                           nr_chips)
 
 
 def deinterleave(data: np.ndarray, nr_chips: int = CHIPS_PER_RANK) -> np.ndarray:
     """Inverse of :func:`interleave`."""
     flat = _as_flat_u8(data, nr_chips, "deinterleave")
-    out = np.empty(flat.size, dtype=np.uint8)
-    out.reshape(-1, nr_chips)[...] = flat.reshape(nr_chips, -1).T
-    return out
+    return deinterleave_into(flat, np.empty(flat.size, dtype=np.uint8),
+                             nr_chips)
 
 
 def roundtrip_identity(data: np.ndarray) -> bool:

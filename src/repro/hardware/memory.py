@@ -108,6 +108,12 @@ class MemoryRegion:
         self._extents: Dict[int, np.ndarray] = {}
         self._masks: Dict[int, np.ndarray] = {}
         self._nr_present = 0
+        #: Bumped whenever the backing store is dropped wholesale
+        #: (``fill(0)``, which releases extents back to the shared pool).
+        #: Holders of pinned views (:meth:`pin_span`) must revalidate
+        #: against this before writing — a recycled extent may already
+        #: back a *different* region.
+        self.generation = 0
 
     # -- bounds -----------------------------------------------------------
 
@@ -232,6 +238,7 @@ class MemoryRegion:
             EXTENT_POOL.release_all(self._extents)
             self._masks.clear()
             self._nr_present = 0
+            self.generation += 1
         else:
             # Non-zero fill of unmaterialized space must materialize it; we
             # forbid it for huge regions since nothing in the stack needs it.
@@ -241,6 +248,62 @@ class MemoryRegion:
                     "is not supported"
                 )
             self.write(0, np.full(self.size, value, dtype=np.uint8))
+
+    # -- pinned views (plan-cache fast path) --------------------------------
+
+    def pin_span(self, offset: int, length: int) -> np.ndarray:
+        """Return a writable view of ``[offset, offset + length)``.
+
+        The span must stay inside one extent (use :meth:`pin_chunks` to
+        cover arbitrary ranges).  Pinning materializes the covered
+        segments — zeroed, exactly as an ordinary partial write would
+        leave their uncovered bytes — so writing through the view is
+        equivalent to :meth:`write` for every observer (``read``,
+        ``materialized_bytes``, ``is_zero``, snapshots).
+
+        Views are invalidated by ``fill(0)``: callers must compare the
+        :attr:`generation` they captured at pin time before reusing one.
+        """
+        self._check(offset, length)
+        if length == 0:
+            return np.empty(0, dtype=np.uint8)
+        ext_idx, ext_off = divmod(offset, self._extent_bytes)
+        if ext_off + length > self._extent_bytes:
+            raise MemoryAccessError(
+                f"{self.name}: pinned span [{offset}, {offset + length}) "
+                f"crosses a {self._extent_bytes}-byte extent boundary"
+            )
+        ext = self._extents.get(ext_idx)
+        if ext is None:
+            ext = EXTENT_POOL.acquire(self._extent_bytes)
+            self._extents[ext_idx] = ext
+            mask = np.zeros(self._extent_segs, dtype=bool)
+            self._masks[ext_idx] = mask
+        else:
+            mask = self._masks[ext_idx]
+        s0 = ext_off // SEGMENT_SIZE
+        s1 = (ext_off + length - 1) // SEGMENT_SIZE
+        for seg in range(s0, s1 + 1):
+            if not mask[seg]:
+                # Zero the *whole* segment (not just the uncovered edge):
+                # replays rewrite the pinned span itself, but the first
+                # materialization must leave everything readable-as-zero.
+                ext[seg * SEGMENT_SIZE:(seg + 1) * SEGMENT_SIZE] = 0
+                mask[seg] = True
+                self._nr_present += 1
+        return ext[ext_off:ext_off + length]
+
+    def pin_chunks(self, offset: int, length: int) -> list:
+        """Pin ``[offset, offset + length)`` as a list of per-extent views."""
+        self._check(offset, length)
+        views = []
+        pos = 0
+        while pos < length:
+            chunk = min(length - pos,
+                        self._extent_bytes - (offset + pos) % self._extent_bytes)
+            views.append(self.pin_span(offset + pos, chunk))
+            pos += chunk
+        return views
 
     # -- snapshots (checkpoint/restore support) -----------------------------
 
@@ -284,6 +347,11 @@ class MemoryRegion:
             pass
 
     # -- introspection ----------------------------------------------------
+
+    @property
+    def extent_bytes(self) -> int:
+        """Backing-store granularity — the span limit for :meth:`pin_span`."""
+        return self._extent_bytes
 
     @property
     def materialized_bytes(self) -> int:

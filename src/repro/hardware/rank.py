@@ -130,6 +130,31 @@ class ReadSpec:
     length: int
 
 
+@dataclass
+class PinnedMramWrite:
+    """A pre-resolved write-to-rank: destination MRAM views paired with
+    source views, ready to replay as plain slice copies.
+
+    Compiled once per transfer shape by the plan cache
+    (:mod:`repro.virt.plans`); :meth:`Rank.write_mram_pinned` replays it
+    with accounting identical to :meth:`Rank.write_mram`.  ``valid()``
+    guards against MRAM backing-store turnover (``fill(0)`` on reset or
+    restore recycles extents, invalidating every pinned view).
+    """
+
+    rank: "Rank"
+    #: ``(dst_mram_view, src_view)`` pairs, one per extent-bounded chunk.
+    copies: List[Tuple[np.ndarray, np.ndarray]]
+    #: ``(region, generation)`` snapshots for every MRAM touched.
+    generations: List[Tuple[object, int]]
+    total: int
+    nr_targets: int
+
+    def valid(self) -> bool:
+        return all(region.generation == gen
+                   for region, gen in self.generations)
+
+
 class Rank:
     """One UPMEM rank: 64 DPUs across 8 chips behind one CI (§2, Fig. 1;
     the paper's allocation and transfer granularity)."""
@@ -257,6 +282,63 @@ class Rank:
         self.obs.xfer("write", total, duration)
         self.spans.event("rank.write", "rank", duration,
                          rank=self.index, bytes=total, targets=len(specs))
+        return duration
+
+    def pin_mram_write(self, specs: Sequence[WriteSpec]) -> PinnedMramWrite:
+        """Resolve ``specs`` into a replayable :class:`PinnedMramWrite`.
+
+        Materializes (and zeroes) the destination segments exactly as
+        :meth:`write_mram` would, then returns paired destination/source
+        views.  Raises :class:`MemoryAccessError`/:class:`TransferError`
+        on anything unpinnable; callers fall back to the naive path.
+        """
+        total = 0
+        copies: List[Tuple[np.ndarray, np.ndarray]] = []
+        regions: Dict[int, object] = {}
+        for spec in specs:
+            src = spec.data
+            if not (isinstance(src, np.ndarray) and src.dtype == np.uint8
+                    and src.ndim == 1 and src.flags.c_contiguous):
+                src = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+            if src.size > MAX_XFER_BYTES:
+                raise TransferError(
+                    f"transfer of {src.size} bytes exceeds the 4 GB rank limit"
+                )
+            mram = self.dpu(spec.dpu_index).mram
+            regions.setdefault(id(mram), mram)
+            pos = 0
+            for dst in mram.pin_chunks(spec.offset, src.size):
+                copies.append((dst, src[pos:pos + dst.size]))
+                pos += dst.size
+            total += src.size
+        if total > MAX_XFER_BYTES:
+            raise TransferError(
+                f"rank operation of {total} bytes exceeds the 4 GB limit"
+            )
+        generations = [(mram, mram.generation)
+                       for mram in regions.values()]
+        return PinnedMramWrite(rank=self, copies=copies,
+                               generations=generations, total=total,
+                               nr_targets=len(specs))
+
+    def write_mram_pinned(self, pinned: PinnedMramWrite,
+                          rust_interleave: bool = False) -> float:
+        """Replay a :class:`PinnedMramWrite`: :meth:`write_mram` minus the
+        per-spec resolution — identical accounting, duration, and
+        observable side effects."""
+        self._guard("write")
+        for dst, src in pinned.copies:
+            dst[...] = src
+        total = pinned.total
+        self.write_ops += 1
+        self.bytes_written += total
+        duration = (self._transfer_duration(total, pinned.nr_targets,
+                                            rust_interleave)
+                    * self.degradation)
+        self.obs.xfer("write", total, duration)
+        self.spans.event("rank.write", "rank", duration,
+                         rank=self.index, bytes=total,
+                         targets=pinned.nr_targets)
         return duration
 
     def read_mram(self, specs: Sequence[ReadSpec],

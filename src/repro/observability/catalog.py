@@ -133,6 +133,23 @@ _SPECS: Tuple[MetricSpec, ...] = (
         "Digest records dropped, by invalidation reason",
         ("vm", "device", "reason"),
         paper="PIM-CACHE extension (docs/transfer_cache.md)"),
+    MetricSpec(
+        "repro_plan_cache_hits_total", "counter",
+        "Transfers replayed from a compiled shape-specialized plan",
+        ("vm", "device"), paper="§4.1/§4.2 (docs/performance.md)"),
+    MetricSpec(
+        "repro_plan_cache_misses_total", "counter",
+        "Plannable transfers that compiled a new plan first",
+        ("vm", "device"), paper="§4.1/§4.2 (docs/performance.md)"),
+    MetricSpec(
+        "repro_plan_cache_evictions_total", "counter",
+        "Plans dropped by the LRU bound of the plan cache",
+        ("vm", "device"), paper="docs/performance.md (plan cache)"),
+    MetricSpec(
+        "repro_plan_cache_invalidations_total", "counter",
+        "Plans dropped because replay became unsafe, by reason",
+        ("vm", "device", "reason"),
+        paper="docs/performance.md (plan cache)"),
 
     # -- manager: host-wide rank arbitration --------------------------------
     MetricSpec(

@@ -118,6 +118,14 @@ class FrontendInstruments:
             registry, "repro_xfer_cache_suppressed_bytes_total").labels(**ids)
         self._cache_invalidations = instrument(
             registry, "repro_xfer_cache_invalidations_total")
+        self._plan_hits = instrument(
+            registry, "repro_plan_cache_hits_total").labels(**ids)
+        self._plan_misses = instrument(
+            registry, "repro_plan_cache_misses_total").labels(**ids)
+        self._plan_evictions = instrument(
+            registry, "repro_plan_cache_evictions_total").labels(**ids)
+        self._plan_invalidations = instrument(
+            registry, "repro_plan_cache_invalidations_total")
         self._ids = ids
 
     def prefetch_hit(self, count: int = 1) -> None:
@@ -166,6 +174,23 @@ class FrontendInstruments:
         if count:
             self._cache_invalidations.labels(reason=reason,
                                              **self._ids).inc(count)
+
+    def plan_hit(self, count: int = 1) -> None:
+        if count:
+            self._plan_hits.inc(count)
+
+    def plan_miss(self, count: int = 1) -> None:
+        if count:
+            self._plan_misses.inc(count)
+
+    def plan_eviction(self, count: int = 1) -> None:
+        if count:
+            self._plan_evictions.inc(count)
+
+    def plan_invalidation(self, reason: str, count: int = 1) -> None:
+        if count:
+            self._plan_invalidations.labels(reason=reason,
+                                            **self._ids).inc(count)
 
 
 class BackendInstruments:

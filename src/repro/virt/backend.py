@@ -26,13 +26,14 @@ from repro.config import BACKEND_WORKER_THREADS, TRANSLATION_THREADS
 from repro.errors import DeviceNotLinkedError, SerializationError
 from repro.driver.driver import PerfModeMapping, UpmemDriver
 from repro.hardware.bufpool import BufferPool
+from repro.hardware.rank import WriteSpec
 from repro.hardware.clock import SimClock
 from repro.hardware.timing import CostModel
 from repro.observability import MetricsRegistry
 from repro.observability.instruments import BackendInstruments
 from repro.observability.spans import SpanRecorder
 from repro.sdk.kernel import DpuProgram
-from repro.sdk.transfer import DpuEntry, TransferMatrix, XferKind
+from repro.sdk.transfer import DpuEntry, Target, TransferMatrix, XferKind
 from repro.virt.guest_memory import HVA_BASE, GuestMemory
 from repro.virt.serialization import (
     RequestHeader,
@@ -95,6 +96,12 @@ class TranslationCache:
         self._runs: "OrderedDict[Tuple[int, int, int], bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Bumped on every :meth:`invalidate` (unlink/relink).  Compiled
+        #: transfer plans snapshot this after resolving their page runs;
+        #: a matching generation lets a replay skip per-entry translation
+        #: (the runs were bounds-validated when first resolved and the
+        #: GPAs are frozen in the plan's reservations).
+        self.generation = 0
 
     def translate(self, page_gpas: np.ndarray) -> np.ndarray:
         """GPA→HVA for one entry's page buffer; validates on miss only."""
@@ -116,6 +123,7 @@ class TranslationCache:
 
     def invalidate(self) -> None:
         self._runs.clear()
+        self.generation += 1
 
 
 class VUpmemBackend:
@@ -190,6 +198,10 @@ class VUpmemBackend:
         if self.mapping is not None:
             self.mapping.unmap()
             self.mapping = None
+            # The rank binding changed (release/migration/failover):
+            # cached translation state must be re-resolved, and plans
+            # holding this generation stop short-circuiting the XLB.
+            self.xlb.invalidate()
 
     def _require_mapping(self) -> PerfModeMapping:
         if self.mapping is None:
@@ -204,8 +216,16 @@ class VUpmemBackend:
     def process(self, chain: List[Descriptor],
                 program: Optional[DpuProgram] = None,
                 batch_records: Optional[List[BatchRecord]] = None,
-                ) -> BackendResult:
-        """Handle one transferq request; returns timing and any payload."""
+                plan=None) -> BackendResult:
+        """Handle one transferq request; returns timing and any payload.
+
+        ``plan`` (a :class:`~repro.virt.plans.TransferPlan`, frontend
+        side-channel for the shape it just replayed) skips the chain
+        deserialization: the plan's entries/skips are the wire content
+        by construction, and its payload views alias the guest pages the
+        chain references.  Purely wall-clock — the modeled deserialize
+        time is still charged in full.
+        """
         if self.fault_hook is not None:
             try:
                 self.fault_hook(self)
@@ -213,7 +233,10 @@ class VUpmemBackend:
                 self.spans.mark_fault("backend_fault")
                 raise
         self.requests_processed += 1
-        header, entries, skips = deserialize_request(chain, self.memory)
+        if plan is not None:
+            header, entries, skips = plan.header, plan.entries, plan.skips
+        else:
+            header, entries, skips = deserialize_request(chain, self.memory)
         # Rank bound at arrival time (RELEASE unlinks while handling).
         rank = str(self.mapping.rank_index) if self.mapping else "none"
         span = self.spans.begin("backend.request", "backend",
@@ -221,7 +244,7 @@ class VUpmemBackend:
                                 rank=rank, device=self.device_id)
         try:
             result = self._handle(header, entries, skips, program,
-                                  batch_records)
+                                  batch_records, plan)
         except BaseException:
             self.spans.end(span, error=True)
             raise
@@ -234,7 +257,7 @@ class VUpmemBackend:
                 skips: List[SkipExtent],
                 program: Optional[DpuProgram],
                 batch_records: Optional[List[BatchRecord]],
-                ) -> BackendResult:
+                plan=None) -> BackendResult:
         kind = header.kind
 
         if kind is RequestKind.GET_CONFIG:
@@ -290,13 +313,18 @@ class VUpmemBackend:
         reuse0 = pool.reuse_count
 
         # Non-batched writes rebuild the matrix up front so the payload
-        # bytes are available for broadcast detection.
+        # bytes are available for broadcast detection.  A plan already
+        # holds a matrix whose payloads alias the (just-refreshed) guest
+        # views, so the gather disappears entirely.
         matrix = None
         loaned: List[np.ndarray] = []
         broadcast = False
         if kind is RequestKind.WRITE_RANK and batch_records is None:
-            matrix, loaned = self._rebuild_matrix(
-                header, entries, XferKind.TO_DPU)
+            if plan is not None:
+                matrix = plan.matrix
+            else:
+                matrix, loaned = self._rebuild_matrix(
+                    header, entries, XferKind.TO_DPU)
             broadcast = self.cache_enabled and _is_broadcast(matrix)
 
         try:
@@ -319,10 +347,19 @@ class VUpmemBackend:
                               + modeled_pages * self.cost.translate_per_page
                               / effective_threads)
             xlb = self.xlb
-            hits0, misses0 = xlb.hits, xlb.misses
-            for entry in entries:
-                xlb.translate(entry.page_gpas)  # bounds-checked on XLB miss
-            self.obs.xlb(xlb.hits - hits0, xlb.misses - misses0)
+            if plan is not None and plan.xlb_generation == xlb.generation:
+                # Replay: the plan's page runs were resolved (and bounds-
+                # validated) at this XLB generation, and its GPAs are
+                # frozen reservations — count the hits without walking.
+                xlb.hits += len(entries)
+                self.obs.xlb(len(entries), 0)
+            else:
+                hits0, misses0 = xlb.hits, xlb.misses
+                for entry in entries:
+                    xlb.translate(entry.page_gpas)  # bounds-checked on miss
+                self.obs.xlb(xlb.hits - hits0, xlb.misses - misses0)
+                if plan is not None:
+                    plan.xlb_generation = xlb.generation
             self.obs.translation(total_pages, translate_time)
             self.spans.event("backend.deserialize", "backend", deser_time,
                              pages=total_pages, broadcast=broadcast)
@@ -336,8 +373,14 @@ class VUpmemBackend:
                 if batch_records is not None:
                     tdata = self._replay_batch(mapping, header, batch_records)
                 else:
-                    tdata = mapping.write(
-                        matrix, rust_interleave=self.rust_data_path)
+                    pinned = (self._pinned_write_for(plan, mapping)
+                              if plan is not None else None)
+                    if pinned is not None:
+                        tdata = mapping.write_pinned(
+                            pinned, rust_interleave=self.rust_data_path)
+                    else:
+                        tdata = mapping.write(
+                            matrix, rust_interleave=self.rust_data_path)
                     if self.cache_enabled:
                         for entry in entries:
                             if entry.digest:
@@ -353,6 +396,28 @@ class VUpmemBackend:
                 return BackendResult(duration=duration, steps=steps)
 
             if kind is RequestKind.READ_RANK:
+                if plan is not None:
+                    # MRAM reads deposit straight into the pinned guest
+                    # destinations; WRAM symbol reads return fresh
+                    # buffers that one slice copy lands in place.
+                    if plan.direct_read:
+                        buffers, tdata = mapping.read(
+                            plan.matrix, rust_interleave=self.rust_data_path,
+                            into=plan.read_views)
+                    else:
+                        buffers, tdata = mapping.read(
+                            plan.matrix, rust_interleave=self.rust_data_path)
+                        for view, buf in zip(plan.read_views, buffers):
+                            view[...] = buf
+                    self.obs.bufpool_reuse(pool.reuse_count - reuse0)
+                    self.obs.interleave(tdata)
+                    tdata += self._bus_share(tdata)
+                    steps = {"Deser": deser_time + translate_time,
+                             "T-data": tdata}
+                    duration = (deser_time + translate_time + dispatch_time
+                                + tdata)
+                    return BackendResult(duration=duration, steps=steps,
+                                         payload=len(buffers))
                 matrix, _ = self._rebuild_matrix(header, entries,
                                                  XferKind.FROM_DPU)
                 loaned_reads = [pool.acquire(e.size) for e in entries]
@@ -395,6 +460,35 @@ class VUpmemBackend:
         if self.qos is None:
             return 0.0
         return self.qos.on_bus(bus_seconds, self.driver.machine.clock.now)
+
+    def _pinned_write_for(self, plan, mapping: PerfModeMapping):
+        """The plan's resolved MRAM destination pairing, or ``None``.
+
+        Pinning needs a stable rank binding, so only a plain
+        :class:`~repro.driver.driver.PerfModeMapping` qualifies (paged
+        mappings re-resolve their frame per operation).  The cached
+        pairing is revalidated against the mapping's rank and every
+        touched MRAM's backing-store generation (a reset or restore
+        recycles extents); anything stale is re-resolved in place.
+        """
+        matrix = plan.matrix
+        if (matrix is None or matrix.target is not Target.MRAM
+                or type(mapping) is not PerfModeMapping):
+            return None
+        pinned = plan.pinned_write
+        if (pinned is not None and pinned.rank is mapping.rank
+                and pinned.valid()):
+            return pinned
+        plan.pinned_write = None
+        try:
+            specs = [WriteSpec(e.dpu_index, matrix.offset, e.data)
+                     for e in matrix.entries]
+            plan.pinned_write = mapping.rank.pin_mram_write(specs)
+        except Exception:
+            # Anything unpinnable (offline rank mid-drill, bounds) falls
+            # back to the ordinary write, which surfaces the real error.
+            return None
+        return plan.pinned_write
 
     def _rebuild_matrix(self, header: RequestHeader,
                         entries: List[SerializedEntry],

@@ -41,6 +41,12 @@ from repro.virt.guest_memory import GuestMemory
 from repro.virt.kvm import Kvm
 from repro.virt.opts import OptimizationConfig
 from repro.virt.mmio import MmioWindow, Reg, driver_init_sequence
+from repro.virt.plans import (
+    PlanCache,
+    PlanUnsupported,
+    compile_plan,
+    plan_key,
+)
 from repro.virt.serialization import (
     RequestHeader,
     RequestKind,
@@ -164,6 +170,12 @@ class VUpmemFrontend:
         #: bit-identical to the committed wall-clock digest.
         self.digests: Optional[ExtentDigestIndex] = (
             ExtentDigestIndex() if opts.cache else None)
+        #: Shape-specialized plan cache (``docs/performance.md``): wire
+        #: layouts compiled once per transfer shape and replayed on each
+        #: repetition.  Wall-clock only — bit-identical modeled time —
+        #: so it defaults on; ``Optimization(plans=False)`` ablates it.
+        self.plans: Optional[PlanCache] = (
+            PlanCache(memory, opts.plan_capacity) if opts.plans else None)
         #: Adaptive digest bypass (``docs/transfer_cache.md``): once the
         #: observed suppression rate over at least
         #: ``opts.cache_bypass_min_probes`` probes stays below
@@ -287,9 +299,10 @@ class VUpmemFrontend:
         result, the total frontend+VMM duration, and the serialized form."""
         page_time = ser_time = 0.0
         sreq: Optional[SerializedRequest] = None
+        plan = None
         if matrix is not None:
-            sreq = serialize_matrix(header, matrix, self.memory,
-                                    digests=digests, skips=skips)
+            sreq, plan = self._plan_or_serialize(
+                header, matrix, digests, skips, batch_records is not None)
             pages = sreq.total_pages + extra_pages
             page_time = pages * self.cost.page_mgmt_per_page
             ser_time = pages * self.cost.serialize_per_page
@@ -344,7 +357,8 @@ class VUpmemFrontend:
         assert popped is not None and popped[0] == request_id
         try:
             result = self.backend.process(chain, program=program,
-                                          batch_records=batch_records)
+                                          batch_records=batch_records,
+                                          plan=plan)
         except Exception:
             self.queues.transferq.push_used(
                 UsedElement(request_id=request_id, status=1))
@@ -375,6 +389,64 @@ class VUpmemFrontend:
             for step, value in result.steps.items():
                 self.profiler.record_wrank_step(step, value)
         return result, duration, sreq
+
+    # -- shape-specialized plans (``docs/performance.md``) -------------------
+
+    def _plan_or_serialize(self, header: RequestHeader,
+                           matrix: TransferMatrix,
+                           digests: Optional[Dict[int, int]],
+                           skips: Optional[List[SkipExtent]],
+                           batched: bool,
+                           ) -> Tuple[SerializedRequest, Optional[object]]:
+        """Serialize via the plan cache when possible.
+
+        Returns ``(sreq, plan)`` — ``plan`` is ``None`` whenever the
+        naive serializer ran (plans off, unplannable shape, compile
+        refusal), in which case the backend deserializes from the wire
+        exactly as before.
+        """
+        plans = self.plans
+        if plans is None:
+            return serialize_matrix(header, matrix, self.memory,
+                                    digests=digests, skips=skips), None
+        key = plan_key(header, matrix, digests, skips, batched)
+        if key is None or key in plans.unplannable:
+            return serialize_matrix(header, matrix, self.memory,
+                                    digests=digests, skips=skips), None
+        plan = plans.get(key)
+        if plan is not None and not plan.valid(self.memory):
+            plans.drop(key)
+            self.obs.plan_invalidation("stale", 1)
+            plan = None
+        if plan is not None:
+            plans.hits += 1
+            self.obs.plan_hit()
+            return plan.replay(matrix, digests, skips), plan
+        plans.misses += 1
+        self.obs.plan_miss()
+        try:
+            plan = compile_plan(key, header, matrix, self.memory,
+                                digests, skips, batched)
+        except PlanUnsupported:
+            plans.unplannable.add(key)
+            return serialize_matrix(header, matrix, self.memory,
+                                    digests=digests, skips=skips), None
+        evicted = plans.insert(key, plan)
+        if evicted:
+            self.obs.plan_eviction(evicted)
+        self.spans.event("plan.compile", "frontend", 0.0,
+                         kind=header.kind.name.lower(),
+                         entries=len(matrix.entries),
+                         pages=plan.sreq.total_pages)
+        return plan.sreq, plan
+
+    def _invalidate_plans(self, reason: str) -> None:
+        """Drop every compiled plan, counting the drops by ``reason``."""
+        if self.plans is None:
+            return
+        dropped = self.plans.invalidate_all()
+        if dropped:
+            self.obs.plan_invalidation(reason, dropped)
 
     # -- device initialization (Section 3.2) ------------------------------------
 
@@ -453,11 +525,27 @@ class VUpmemFrontend:
 
     # -- content-aware transfer cache (``Optimization(cache=True)``) ---------
 
+    #: Digest-invalidation reasons that leave compiled plans replayable.
+    #: Rank release and program load do not disturb the reserved guest
+    #: memory a plan's wire layout lives in, and the parts that DO go
+    #: stale revalidate themselves on replay: translations through the
+    #: XLB generation counter, pinned MRAM writes through the rank
+    #: identity check.  Everything else (failover, transport-retry
+    #: exhaustion, flush errors, adaptive bypass) drops plans too.
+    _PLAN_SAFE_REASONS = frozenset({"load", "release"})
+
     def _invalidate_digests(self, reason: str) -> None:
-        """Drop every digest record, counting the drops by ``reason``."""
+        """Drop every digest record, counting the drops by ``reason``.
+
+        Compiled plans usually ride along — except for the benign
+        reasons in :data:`_PLAN_SAFE_REASONS`, which is what lets a
+        repeated workload replay its plans across sessions ("compile
+        once, replay per repetition")."""
         if self.digests is not None:
             self.obs.cache_invalidation(reason,
                                         self.digests.invalidate_all())
+        if reason not in self._PLAN_SAFE_REASONS:
+            self._invalidate_plans(reason)
 
     @property
     def _digesting(self) -> bool:

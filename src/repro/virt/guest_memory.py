@@ -9,7 +9,7 @@ copying (Section 4.2 "Zero-copy Request Handling").
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -36,22 +36,68 @@ class GuestMemory:
         self._arena_start = 1 << 20  # leave the first MiB alone (BIOS area)
         self._arena_bytes = min(arena_bytes, size - self._arena_start)
         self._arena_cursor = 0
+        # Long-lived plan reservations grow *downward* from the arena top;
+        # the rolling bump allocator keeps the shrinking bottom part.
+        self._reserve_floor = self._arena_start + self._arena_bytes
+        self._free_reservations: Dict[int, List[int]] = {}
 
     # -- page allocation ------------------------------------------------------
+
+    @property
+    def _bump_limit(self) -> int:
+        return self._reserve_floor - self._arena_start
 
     def alloc_pages(self, nr_pages: int) -> int:
         """Return the GPA of a fresh run of ``nr_pages`` contiguous pages."""
         need = nr_pages * PAGE_SIZE
-        if need > self._arena_bytes:
+        limit = self._bump_limit
+        if need > limit:
             raise TranslationError(
                 f"request for {nr_pages} pages exceeds the "
-                f"{self._arena_bytes}-byte DMA arena"
+                f"{limit}-byte DMA arena"
             )
-        if self._arena_cursor + need > self._arena_bytes:
+        if self._arena_cursor + need > limit:
             self._arena_cursor = 0  # wrap: previous requests have completed
         gpa = self._arena_start + self._arena_cursor
         self._arena_cursor += need
         return gpa
+
+    def reserve_pages(self, nr_pages: int) -> int:
+        """Claim a *stable* run of ``nr_pages`` pages for a compiled plan.
+
+        Unlike :meth:`alloc_pages`, reserved runs are never recycled by
+        the rolling arena — they stay valid for the plan's lifetime and
+        return to a free list via :meth:`release_reservation`.  Runs that
+        fit inside one backing extent are aligned so they never straddle
+        an extent boundary (keeping the payload pinnable as one view).
+        At most half of the arena may be reserved; beyond that the plan
+        cache falls back to the naive path.
+        """
+        need = nr_pages * PAGE_SIZE
+        free = self._free_reservations.get(need)
+        if free:
+            return free.pop()
+        gpa = ((self._reserve_floor - need) // PAGE_SIZE) * PAGE_SIZE
+        ext = self.region.extent_bytes
+        if need <= ext:
+            boundary = (gpa // ext) * ext
+            if gpa + need > boundary + ext:
+                gpa = boundary + ext - need
+        if gpa < self._arena_start + self._arena_bytes // 2:
+            raise TranslationError(
+                f"reservation of {nr_pages} pages would shrink the DMA "
+                "arena below half capacity"
+            )
+        self._reserve_floor = gpa
+        return gpa
+
+    def release_reservation(self, gpa: int, nr_pages: int) -> None:
+        """Return a reserved run to the free list for same-size reuse."""
+        self._free_reservations.setdefault(nr_pages * PAGE_SIZE, []).append(gpa)
+
+    def pin_span(self, gpa: int, length: int) -> np.ndarray:
+        """Writable view of guest bytes (see :meth:`MemoryRegion.pin_span`)."""
+        return self.region.pin_span(gpa, length)
 
     # -- data access ------------------------------------------------------------
 

@@ -154,6 +154,9 @@ def migrate_device(device: VUpmemDevice, manager: Manager,
     device.backend.unlink()
     device.backend.driver = dest.driver
     device.backend.link_rank(target_rank)
+    # Compiled transfer plans hold rank-specific pinned state; the
+    # relinked backend must not replay them against the new rank.
+    device.frontend._invalidate_plans("migration")
     return target_rank
 
 

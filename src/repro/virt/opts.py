@@ -45,6 +45,22 @@ class OptimizationConfig:
     #: wall-clock digest.
     qos: Optional[QosConfig] = None
 
+    #: Shape-specialized plan cache (``docs/performance.md``): the
+    #: frontend compiles the wire layout, page reservations, and pinned
+    #: payload views of each (shape, direction, symbol) tuple once and
+    #: replays them on every repetition; the backend skips
+    #: deserialization and re-translation for planned requests.  Plans
+    #: change *wall-clock only* — modeled durations and all simulated
+    #: outputs are bit-identical — so the default is on.
+    plans: bool = True
+
+    #: Bound on distinct shapes the plan cache holds (LRU beyond it).
+    #: Sized above the largest per-run shape count in the PrIM suite
+    #: (321 for bench-size SpMV): an LRU scanned cyclically by a
+    #: repeated workload degrades to zero hits the moment the working
+    #: set exceeds the capacity.
+    plan_capacity: int = 512
+
     prefetch_pages_per_dpu: int = PREFETCH_PAGES_PER_DPU
     batch_pages_per_dpu: int = BATCH_PAGES_PER_DPU
 
@@ -74,6 +90,8 @@ class OptimizationConfig:
         label = f"vPIM[{flags}]"
         if self.cache:
             label += "+cache"
+        if not self.plans:
+            label += "-plans"
         if self.qos is not None:
             label += "+qos"
         return label

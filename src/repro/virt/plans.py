@@ -1,0 +1,323 @@
+"""Shape-specialized transfer plans: compile once, replay per repetition.
+
+PrIM workloads run ``nr_reps`` repetitions of *identically shaped*
+transfers, yet the naive data plane re-derives the wire layout, page
+allocations, GPA run lists, and gather/scatter segmentation from scratch
+on every request.  A :class:`TransferPlan` captures everything
+shape-derived and content-independent the first time a
+``(direction, symbol, offset, entry shapes)`` tuple is seen:
+
+- the serialized descriptor chain (header, matrix-meta, per-entry meta
+  and page buffers), placed in *reserved* guest pages
+  (:meth:`GuestMemory.reserve_pages`) that the rolling DMA arena never
+  recycles, with writable views pinned over every buffer;
+- a cached :class:`~repro.sdk.transfer.TransferMatrix` whose write
+  payloads alias the pinned guest views — a replay refreshes content
+  with one slice copy per entry and the backend consumes it with no
+  gather;
+- for reads, the pinned destination views the backend deposits into
+  directly (no scatter);
+- a slot for the backend's resolved MRAM destination pairing
+  (:class:`~repro.hardware.rank.PinnedMramWrite`) and the XLB
+  translation generation, so replays skip per-entry re-translation.
+
+Plans change **wall-clock time only**: every modeled duration, metric
+that feeds the wall-clock digest, guest-visible byte, and DPU-visible
+byte is bit-identical to the naive path.  Shapes the compiler cannot
+pin (entries larger than one backing extent, arena exhaustion) are
+marked unplannable and permanently served by the naive path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import PAGE_SIZE
+from repro.errors import MemoryAccessError, TransferError, TranslationError
+from repro.sdk.transfer import DpuEntry, Target, TransferMatrix, XferKind
+from repro.virt.guest_memory import GuestMemory
+from repro.virt.serialization import (
+    RequestHeader,
+    RequestKind,
+    SerializedEntry,
+    SerializedRequest,
+    SkipExtent,
+    _entry_pages,
+    entry_meta_words,
+    matrix_meta_words,
+)
+from repro.virt.virtio import Descriptor
+
+__all__ = [
+    "PlanCache", "PlanUnsupported", "TransferPlan", "compile_plan",
+    "plan_key",
+]
+
+#: Word index of the digest inside a cache-format entry-meta buffer.
+_ENTRY_DIGEST_WORD = 3
+#: Matrix-meta words before the skip extents (cache format).
+_SKIP_BASE_WORD = 4
+#: u64 words per skip extent: (dpu_index, size, digest).
+_SKIP_WORDS = 3
+
+
+class PlanUnsupported(Exception):
+    """The shape cannot be compiled; the caller falls back to the naive
+    serializer (and remembers the key so it never tries again)."""
+
+
+def plan_key(header: RequestHeader, matrix: TransferMatrix,
+             digests: Optional[Dict[int, int]],
+             skips: Optional[List[SkipExtent]],
+             batched: bool) -> Optional[Tuple]:
+    """The cache key of a data request, or ``None`` if unplannable.
+
+    Everything that shapes the wire layout is part of the key: request
+    kind, addressing, wire format, batching, the (dpu, size) tuple of
+    every kept entry, and the (dpu, size) tuple of every SKIP extent.
+    """
+    if header.kind not in (RequestKind.WRITE_RANK, RequestKind.READ_RANK):
+        return None
+    if header.offset != matrix.offset or header.symbol != matrix.symbol:
+        return None
+    cache_format = digests is not None or skips is not None
+    return (
+        int(header.kind), header.symbol, matrix.offset, batched,
+        cache_format,
+        tuple((e.dpu_index, e.size) for e in matrix.entries),
+        tuple((s.dpu_index, s.size) for s in (skips or ())),
+    )
+
+
+@dataclass
+class TransferPlan:
+    """One compiled shape: stable chain + pinned views + replay patches."""
+
+    key: Tuple
+    header: RequestHeader
+    sreq: SerializedRequest
+    entries: List[SerializedEntry]
+    skips: List[SkipExtent]
+    #: Cached matrix whose TO_DPU payloads alias ``payload_views``
+    #: (``None`` for batched flushes — the backend replays the records).
+    matrix: Optional[TransferMatrix]
+    #: Pinned guest views over each entry's payload pages.
+    payload_views: List[np.ndarray]
+    #: u64 views over each entry-meta buffer (digest patched per replay).
+    entry_meta_views: List[np.ndarray]
+    #: u64 view over the matrix-meta buffer (skip digests patched).
+    matrix_meta_view: Optional[np.ndarray]
+    #: ``(gpa, nr_pages)`` reservations to release when the plan dies.
+    reservations: List[Tuple[int, int]]
+    guest_generation: int
+    cache_format: bool
+    batched: bool
+    #: MRAM reads deposit straight into ``payload_views`` via ``into=``;
+    #: WRAM reads return fresh buffers that replay copies over.
+    direct_read: bool
+    #: XLB generation at which this plan's page runs were last resolved.
+    xlb_generation: int = -1
+    #: Backend-resolved destination pairing for MRAM writes.
+    pinned_write: object = None
+    replays: int = field(default=0)
+
+    def valid(self, memory: GuestMemory) -> bool:
+        """Pinned views survive only as long as the guest backing store."""
+        return self.guest_generation == memory.region.generation
+
+    @property
+    def read_views(self) -> List[np.ndarray]:
+        return self.payload_views
+
+    def replay(self, matrix: TransferMatrix,
+               digests: Optional[Dict[int, int]],
+               skips: Optional[List[SkipExtent]]) -> SerializedRequest:
+        """Refresh content-dependent state; returns the stable chain.
+
+        For writes, each live payload is copied into its pinned view
+        (one slice copy per entry — the only byte work of a replayed
+        serialization).  Cache-format replays also re-patch the digest
+        words in the wire metadata and swap in the fresh SKIP extents.
+        """
+        self.replays += 1
+        if self.matrix is not None and matrix.kind is XferKind.TO_DPU:
+            # The cached matrix's entries alias these views, so one slice
+            # copy per entry refreshes both the wire and the matrix.
+            for view, live in zip(self.payload_views, matrix.entries):
+                if live.data is not view:
+                    view[...] = live.data
+        if self.cache_format:
+            for view, entry, live in zip(self.entry_meta_views,
+                                         self.entries, matrix.entries):
+                digest = (digests or {}).get(live.dpu_index, 0)
+                entry.digest = digest
+                view[_ENTRY_DIGEST_WORD] = digest
+            self.skips = list(skips or ())
+            meta = self.matrix_meta_view
+            assert meta is not None
+            for s, skip in enumerate(self.skips):
+                meta[_SKIP_BASE_WORD + _SKIP_WORDS * s + 2] = skip.digest
+        return self.sreq
+
+    def release(self, memory: GuestMemory) -> None:
+        for gpa, nr_pages in self.reservations:
+            memory.release_reservation(gpa, nr_pages)
+        self.reservations = []
+
+
+def _pin_wire_buffer(memory: GuestMemory, data: np.ndarray,
+                     reservations: List[Tuple[int, int]],
+                     device_writable: bool = False,
+                     ) -> Tuple[np.ndarray, Descriptor]:
+    """Reserve + pin + fill one wire buffer; mirrors
+    :func:`repro.virt.virtio.write_buffer` byte-for-byte."""
+    u8 = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    nr_pages = max(1, (u8.size + PAGE_SIZE - 1) // PAGE_SIZE)
+    gpa = memory.reserve_pages(nr_pages)
+    reservations.append((gpa, nr_pages))
+    view = memory.pin_span(gpa, u8.size)
+    view[...] = u8
+    return view, Descriptor(gpa=gpa, length=u8.size,
+                            device_writable=device_writable)
+
+
+def compile_plan(key: Tuple, header: RequestHeader, matrix: TransferMatrix,
+                 memory: GuestMemory,
+                 digests: Optional[Dict[int, int]],
+                 skips: Optional[List[SkipExtent]],
+                 batched: bool) -> TransferPlan:
+    """Compile ``matrix`` into a :class:`TransferPlan`.
+
+    Emits the exact chain :func:`~repro.virt.serialization.serialize_matrix`
+    would (same buffer contents, lengths, and writable flags — only the
+    GPAs differ, drawn from the reservation arena instead of the rolling
+    bump allocator).  Raises :class:`PlanUnsupported` when the shape
+    cannot be pinned; all partial reservations are released first.
+    """
+    cache_format = digests is not None or skips is not None
+    reservations: List[Tuple[int, int]] = []
+    try:
+        matrix.validate()
+        chain: List[Descriptor] = []
+        _, desc = _pin_wire_buffer(memory, header.pack(), reservations)
+        chain.append(desc)
+        meta_u8, desc = _pin_wire_buffer(
+            memory, matrix_meta_words(matrix, skips, cache_format),
+            reservations)
+        chain.append(desc)
+        matrix_meta_view = meta_u8.view(np.uint64) if cache_format else None
+
+        total_pages = 0
+        data_descriptors: List[Tuple[int, int, int]] = []
+        entries: List[SerializedEntry] = []
+        payload_views: List[np.ndarray] = []
+        entry_meta_views: List[np.ndarray] = []
+        cached_entries: List[DpuEntry] = []
+        writable = matrix.kind is XferKind.FROM_DPU
+        for entry in matrix.entries:
+            nr_pages = _entry_pages(entry.size)
+            total_pages += nr_pages
+            digest = (digests or {}).get(entry.dpu_index, 0)
+            emeta_u8, desc = _pin_wire_buffer(
+                memory,
+                entry_meta_words(entry.dpu_index, entry.size, nr_pages,
+                                 digest, cache_format),
+                reservations)
+            chain.append(desc)
+            if cache_format:
+                entry_meta_views.append(emeta_u8.view(np.uint64))
+            gpa = memory.reserve_pages(nr_pages)
+            reservations.append((gpa, nr_pages))
+            view = memory.pin_span(gpa, entry.size)
+            if matrix.kind is XferKind.TO_DPU:
+                view[...] = entry.data
+            payload_views.append(view)
+            page_gpas = (np.arange(nr_pages, dtype=np.uint64) * PAGE_SIZE
+                         + np.uint64(gpa))
+            _, desc = _pin_wire_buffer(memory, page_gpas, reservations,
+                                       device_writable=writable)
+            chain.append(desc)
+            data_descriptors.append((entry.dpu_index, entry.size, gpa))
+            entries.append(SerializedEntry(
+                dpu_index=entry.dpu_index, size=entry.size,
+                page_gpas=page_gpas, digest=digest))
+            cached_entries.append(DpuEntry(
+                dpu_index=entry.dpu_index, size=entry.size,
+                data=view if matrix.kind is XferKind.TO_DPU else None))
+    except (TranslationError, MemoryAccessError, TransferError) as exc:
+        for gpa, nr_pages in reservations:
+            memory.release_reservation(gpa, nr_pages)
+        raise PlanUnsupported(str(exc)) from exc
+
+    cached_matrix = None
+    if not batched:
+        cached_matrix = TransferMatrix(matrix.kind, matrix.symbol,
+                                       matrix.offset, cached_entries)
+    sreq = SerializedRequest(header=header, chain=chain,
+                             total_pages=total_pages,
+                             data_descriptors=data_descriptors)
+    return TransferPlan(
+        key=key, header=header, sreq=sreq, entries=entries,
+        skips=list(skips or ()), matrix=cached_matrix,
+        payload_views=payload_views, entry_meta_views=entry_meta_views,
+        matrix_meta_view=matrix_meta_view, reservations=reservations,
+        guest_generation=memory.region.generation,
+        cache_format=cache_format, batched=batched,
+        direct_read=matrix.target is Target.MRAM,
+    )
+
+
+class PlanCache:
+    """Bounded LRU of compiled :class:`TransferPlan` per frontend."""
+
+    def __init__(self, memory: GuestMemory, capacity: int = 128) -> None:
+        self.memory = memory
+        self.capacity = max(1, capacity)
+        self._plans: "OrderedDict[Tuple, TransferPlan]" = OrderedDict()
+        #: Shapes the compiler refused — permanent naive fallback.
+        self.unplannable: Set[Tuple] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Tuple) -> Optional[TransferPlan]:
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def insert(self, key: Tuple, plan: TransferPlan) -> int:
+        """Cache ``plan``; returns how many plans were evicted for room."""
+        evicted = 0
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            _, old = self._plans.popitem(last=False)
+            old.release(self.memory)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def drop(self, key: Tuple) -> None:
+        plan = self._plans.pop(key, None)
+        if plan is not None:
+            plan.release(self.memory)
+            self.invalidations += 1
+
+    def invalidate_all(self) -> int:
+        """Drop every plan (migration/failover/teardown); returns count."""
+        count = len(self._plans)
+        for plan in self._plans.values():
+            plan.release(self.memory)
+        self._plans.clear()
+        self.invalidations += count
+        return count
+
+    @property
+    def nr_plans(self) -> int:
+        return len(self._plans)

@@ -143,6 +143,29 @@ def _entry_pages(size: int) -> int:
     return max(1, (size + PAGE_SIZE - 1) // PAGE_SIZE)
 
 
+def matrix_meta_words(matrix: TransferMatrix,
+                      skips: Optional[List[SkipExtent]],
+                      cache_format: bool) -> np.ndarray:
+    """The matrix-meta buffer contents (u64), shared by the serializer
+    and the plan compiler so both emit the identical wire layout."""
+    head = [len(matrix.entries), matrix.offset,
+            int(matrix.kind is XferKind.TO_DPU)]
+    if cache_format:
+        head.append(len(skips or ()))
+        for skip in skips or ():
+            head.extend((skip.dpu_index, skip.size, skip.digest))
+    return np.array(head, dtype=np.uint64)
+
+
+def entry_meta_words(dpu_index: int, size: int, nr_pages: int, digest: int,
+                     cache_format: bool) -> np.ndarray:
+    """One entry-meta buffer's contents (u64) — see :func:`matrix_meta_words`."""
+    words = [dpu_index, size, nr_pages]
+    if cache_format:
+        words.append(digest)
+    return np.array(words, dtype=np.uint64)
+
+
 def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
                      memory: GuestMemory,
                      digests: Optional[Dict[int, int]] = None,
@@ -161,13 +184,7 @@ def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
     """
     cache_format = digests is not None or skips is not None
     chain: List[Descriptor] = [write_buffer(memory, header.pack())]
-    head = [len(matrix.entries), matrix.offset,
-            int(matrix.kind is XferKind.TO_DPU)]
-    if cache_format:
-        head.append(len(skips or ()))
-        for skip in skips or ():
-            head.extend((skip.dpu_index, skip.size, skip.digest))
-    matrix_meta = np.array(head, dtype=np.uint64)
+    matrix_meta = matrix_meta_words(matrix, skips, cache_format)
     chain.append(write_buffer(memory, matrix_meta))
 
     total_pages = 0
@@ -175,10 +192,9 @@ def serialize_matrix(header: RequestHeader, matrix: TransferMatrix,
     for entry in matrix.entries:
         nr_pages = _entry_pages(entry.size)
         total_pages += nr_pages
-        words = [entry.dpu_index, entry.size, nr_pages]
-        if cache_format:
-            words.append((digests or {}).get(entry.dpu_index, 0))
-        entry_meta = np.array(words, dtype=np.uint64)
+        entry_meta = entry_meta_words(
+            entry.dpu_index, entry.size, nr_pages,
+            (digests or {}).get(entry.dpu_index, 0), cache_format)
         chain.append(write_buffer(memory, entry_meta))
         if matrix.kind is XferKind.TO_DPU:
             gpa = memory.alloc_pages(nr_pages)

@@ -191,6 +191,32 @@ class TestMonitoringDocMetricTable:
                 f"catalog declares {spec.labels}")
 
 
+class TestPerformanceDocMetricTable:
+    """docs/performance.md carries the plan-cache families' rows;
+    they must match the catalog exactly, like observability.md's."""
+
+    @pytest.fixture(scope="class")
+    def table_rows(self) -> list:
+        text = (REPO_ROOT / "docs" / "performance.md").read_text()
+        rows = re.findall(r"^\| `(repro_[a-z0-9_]+)` \|[^|]+\| ([^|]*) \|",
+                          text, re.MULTILINE)
+        assert rows, "metric table not found in docs/performance.md"
+        return rows
+
+    def test_every_plan_cache_family_has_a_row(self, table_rows):
+        plan_families = {name for name in CATALOG
+                         if name.startswith("repro_plan_cache_")}
+        assert plan_families == {name for name, _ in table_rows}
+
+    def test_documented_labels_match_catalog(self, table_rows):
+        for name, label_cell in table_rows:
+            spec = CATALOG[name]
+            documented = tuple(re.findall(r"`([^`]+)`", label_cell))
+            assert documented == spec.labels, (
+                f"{name}: docs/performance.md lists labels {documented}, "
+                f"catalog declares {spec.labels}")
+
+
 def test_readme_mentions_metrics_cli():
     text = (REPO_ROOT / "README.md").read_text()
     assert "metrics" in text

@@ -1,0 +1,341 @@
+"""Property-based equivalence of the shape-specialized plan cache.
+
+The contract of ``repro.virt.plans`` (``docs/performance.md``) is that a
+compiled plan is *indistinguishable on the wire* from the naive
+serializer: same buffer lengths, same writable flags, same metadata and
+payload bytes — only the GPAs differ (reservation arena vs the rolling
+bump allocator).  These tests drive random shapes through both paths and
+compare the chains buffer-for-buffer, then exercise the invalidation
+rules (eviction, migration, failover) end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MRAM_HEAP_SYMBOL, PAGE_SIZE, small_machine
+from repro.core import VPim
+from repro.sdk.dpu_set import DpuSet
+from repro.sdk.transfer import XferKind, uniform_read, uniform_write
+from repro.virt.guest_memory import GuestMemory
+from repro.virt.migration import migrate_device
+from repro.virt.opts import OptimizationConfig
+from repro.virt.plans import PlanCache, compile_plan, plan_key
+from repro.virt.serialization import (
+    RequestHeader,
+    RequestKind,
+    SkipExtent,
+    serialize_matrix,
+)
+
+
+# -- strategies --------------------------------------------------------------
+
+#: Entry sizes hitting the layout edges: sub-word, page-aligned tails
+#: (a size that is an exact multiple of PAGE_SIZE leaves a zero-length
+#: tail in its last page), one-past/one-short of a page, multi-page.
+entry_sizes = st.one_of(
+    st.sampled_from([1, 7, 8, PAGE_SIZE - 1, PAGE_SIZE,
+                     PAGE_SIZE + 1, 2 * PAGE_SIZE, 3 * PAGE_SIZE - 9]),
+    st.integers(min_value=1, max_value=2 * PAGE_SIZE),
+)
+
+shapes = st.lists(entry_sizes, min_size=1, max_size=6)
+offsets = st.sampled_from([0, 8, 64, PAGE_SIZE, 3 * PAGE_SIZE + 8])
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _payloads(sizes, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.integers(0, 256, size=n, dtype=np.uint8).astype(np.uint8)
+            for n in sizes]
+
+
+def _digests_for(sizes, seed, cache_format):
+    if not cache_format:
+        return None
+    rng = np.random.default_rng(seed ^ 0xD16E57)
+    return {i: int(rng.integers(1, 2**63)) for i in range(len(sizes))}
+
+
+def _wire(memory, sreq, kind):
+    """Everything observable about a chain except the GPA values: buffer
+    (length, writable, bytes) for header/metas, (length, writable) for
+    the page-GPA buffers, and the gathered payload each entry's pages
+    hold (writes only — read pages are destinations)."""
+    chain = sreq.chain
+    metas = [(d.length, d.device_writable, memory.read(d.gpa, d.length).tobytes())
+             for d in [chain[0], chain[1]] + chain[2::2]]
+    page_bufs = [(d.length, d.device_writable) for d in chain[3::2]]
+    payloads = [
+        (dpu, size,
+         memory.read(gpa, size).tobytes() if kind is XferKind.TO_DPU else b"")
+        for dpu, size, gpa in sreq.data_descriptors
+    ]
+    return metas, page_bufs, payloads, sreq.total_pages
+
+
+def _compile(memory, header, matrix, digests, skips=None):
+    key = plan_key(header, matrix, digests, skips, batched=False)
+    assert key is not None, "data request must be plannable"
+    return compile_plan(key, header, matrix, memory, digests, skips,
+                        batched=False)
+
+
+# -- wire-level equivalence --------------------------------------------------
+
+class TestWireEquivalence:
+    @given(sizes=shapes, offset=offsets, seed=seeds,
+           cache_format=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_planned_write_matches_naive(self, sizes, offset, seed,
+                                         cache_format):
+        """compile → chain equals serialize_matrix byte-for-byte."""
+        memory = GuestMemory(64 << 20)
+        matrix = uniform_write(MRAM_HEAP_SYMBOL, offset,
+                               _payloads(sizes, seed))
+        header = RequestHeader(RequestKind.WRITE_RANK, offset=offset,
+                               symbol=MRAM_HEAP_SYMBOL)
+        digests = _digests_for(sizes, seed, cache_format)
+
+        naive = serialize_matrix(header, matrix, memory, digests, None)
+        plan = _compile(memory, header, matrix, digests)
+        assert (_wire(memory, plan.sreq, XferKind.TO_DPU)
+                == _wire(memory, naive, XferKind.TO_DPU))
+        plan.release(memory)
+
+    @given(sizes=shapes, offset=offsets, seed=seeds,
+           cache_format=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_replay_matches_naive_with_fresh_data(self, sizes, offset, seed,
+                                                  cache_format):
+        """Replays refresh payloads + digests; the wire stays identical
+        to what a from-scratch serialization of the new data emits."""
+        memory = GuestMemory(64 << 20)
+        header = RequestHeader(RequestKind.WRITE_RANK, offset=offset,
+                               symbol=MRAM_HEAP_SYMBOL)
+        plan = _compile(
+            memory, header,
+            uniform_write(MRAM_HEAP_SYMBOL, offset, _payloads(sizes, seed)),
+            _digests_for(sizes, seed, cache_format))
+
+        for rep in (1, 2, 3):
+            fresh = uniform_write(MRAM_HEAP_SYMBOL, offset,
+                                  _payloads(sizes, seed + rep))
+            digests = _digests_for(sizes, seed + rep, cache_format)
+            naive = serialize_matrix(header, fresh, memory, digests, None)
+            replayed = plan.replay(fresh, digests, None)
+            assert (_wire(memory, replayed, XferKind.TO_DPU)
+                    == _wire(memory, naive, XferKind.TO_DPU))
+        assert plan.replays == 3
+        plan.release(memory)
+
+    @given(sizes=shapes, offset=offsets, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_planned_read_matches_naive(self, sizes, offset, seed):
+        memory = GuestMemory(64 << 20)
+        size = max(sizes)
+        matrix = uniform_read(MRAM_HEAP_SYMBOL, offset, size,
+                              nr_dpus=len(sizes))
+        header = RequestHeader(RequestKind.READ_RANK, offset=offset,
+                               symbol=MRAM_HEAP_SYMBOL)
+
+        naive = serialize_matrix(header, matrix, memory, None, None)
+        plan = _compile(memory, header, matrix, None)
+        assert (_wire(memory, plan.sreq, XferKind.FROM_DPU)
+                == _wire(memory, naive, XferKind.FROM_DPU))
+        assert len(plan.read_views) == len(matrix.entries)
+        assert all(v.size == size for v in plan.read_views)
+        plan.release(memory)
+
+    @given(sizes=shapes, offset=offsets, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_replay_repatches_skip_digests(self, sizes, offset, seed):
+        """Cache-format replays swap in fresh SKIP extents: the replayed
+        chain must equal a naive serialization carrying the same skips."""
+        memory = GuestMemory(64 << 20)
+        header = RequestHeader(RequestKind.WRITE_RANK, offset=offset,
+                               symbol=MRAM_HEAP_SYMBOL)
+        rng = np.random.default_rng(seed ^ 0x5C1B)
+        # Skips share the key with the kept entries, so both arms carry
+        # the same (dpu, size) skip tuple; only the digests vary per rep.
+        skip_shape = [(len(sizes) + i, int(rng.integers(1, PAGE_SIZE)))
+                      for i in range(2)]
+
+        def skips_at(rep):
+            return [SkipExtent(dpu, size, digest=rep * 1000 + dpu)
+                    for dpu, size in skip_shape]
+
+        plan = _compile(
+            memory, header,
+            uniform_write(MRAM_HEAP_SYMBOL, offset, _payloads(sizes, seed)),
+            _digests_for(sizes, seed, True), skips=skips_at(0))
+
+        for rep in (1, 2):
+            fresh = uniform_write(MRAM_HEAP_SYMBOL, offset,
+                                  _payloads(sizes, seed + rep))
+            digests = _digests_for(sizes, seed + rep, True)
+            naive = serialize_matrix(header, fresh, memory, digests,
+                                     skips_at(rep))
+            replayed = plan.replay(fresh, digests, skips_at(rep))
+            assert (_wire(memory, replayed, XferKind.TO_DPU)
+                    == _wire(memory, naive, XferKind.TO_DPU))
+        plan.release(memory)
+
+
+# -- cache behaviour ---------------------------------------------------------
+
+class TestPlanCacheEviction:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_eviction_mid_sequence_stays_correct(self, seed):
+        """Cycling more shapes than the LRU holds keeps evicting, and
+        every replayed-or-recompiled chain still matches the naive one."""
+        memory = GuestMemory(64 << 20)
+        cache = PlanCache(memory, capacity=2)
+        sizes_by_shape = [[64], [128, 32], [PAGE_SIZE + 1]]
+
+        for rep in range(3):
+            for shape_id, sizes in enumerate(sizes_by_shape):
+                offset = shape_id * (8 << 10)
+                matrix = uniform_write(
+                    MRAM_HEAP_SYMBOL, offset,
+                    _payloads(sizes, seed + 31 * rep + shape_id))
+                header = RequestHeader(RequestKind.WRITE_RANK, offset=offset,
+                                       symbol=MRAM_HEAP_SYMBOL)
+                key = plan_key(header, matrix, None, None, batched=False)
+                plan = cache.get(key)
+                if plan is None:
+                    plan = compile_plan(key, header, matrix, memory,
+                                        None, None, batched=False)
+                    cache.insert(key, plan)
+                    sreq = plan.sreq
+                else:
+                    sreq = plan.replay(matrix, None, None)
+                naive = serialize_matrix(header, matrix, memory, None, None)
+                assert (_wire(memory, sreq, XferKind.TO_DPU)
+                        == _wire(memory, naive, XferKind.TO_DPU))
+
+        # 3 shapes through a 2-slot LRU in cyclic order: every visit
+        # after the warm-up evicts, and nothing ever replays.
+        assert cache.evictions > 0
+        assert cache.nr_plans <= 2
+        cache.invalidate_all()
+        assert cache.nr_plans == 0
+
+
+# -- end-to-end: planned VM == unplanned VM ----------------------------------
+
+def _session(nr_ranks=1, **opt_kwargs):
+    vpim = VPim(small_machine(nr_ranks=nr_ranks, dpus_per_rank=4))
+    session = vpim.vm_session(nr_vupmem=1, mem_bytes=1 << 30,
+                              opts=OptimizationConfig(**opt_kwargs))
+    return vpim, session
+
+
+class TestEndToEndEquivalence:
+    @given(sizes=st.lists(entry_sizes, min_size=4, max_size=4), seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_plans_do_not_change_data_or_modeled_time(self, sizes, seed):
+        """Same workload through plans-on and plans-off VMs: identical
+        read-backs and identical modeled clock advance."""
+        outcomes = {}
+        for plans in (True, False):
+            vpim, session = _session(plans=plans)
+            with DpuSet(session.transport, 4) as dpus:
+                t0 = vpim.machine.clock.now
+                reads = []
+                for rep in range(3):
+                    bufs = _payloads(sizes, seed + rep)
+                    for dpu, buf in enumerate(bufs):
+                        dpus.copy_to_mram(dpu, 0, buf)
+                    reads.append([
+                        dpus.copy_from_mram(dpu, 0, len(buf)).tobytes()
+                        for dpu, buf in enumerate(bufs)])
+                    for dpu, buf in enumerate(bufs):
+                        assert reads[-1][dpu] == buf.tobytes()
+                frontend = session.vm.devices[0].frontend
+                outcomes[plans] = (reads, float(vpim.machine.clock.now - t0).hex())
+            if plans:
+                assert frontend.plans is not None
+                assert frontend.plans.hits > 0, \
+                    "repeated shapes must replay a compiled plan"
+            else:
+                assert frontend.plans is None
+        assert outcomes[True] == outcomes[False]
+
+
+# -- invalidation: migration and failover ------------------------------------
+
+class TestPlanInvalidation:
+    def _warm(self, session):
+        dpus = DpuSet(session.transport, 4)
+        dpus.__enter__()
+        # Large writes bypass the batch buffer, so each repetition is a
+        # real WRITE_RANK request (the first compiles, the second replays).
+        for rep in range(2):
+            dpus.push_to_mram(0, [np.full(2 * PAGE_SIZE, rep + 1,
+                                          np.uint8)] * 4)
+            dpus.push_from_mram(0, 2 * PAGE_SIZE)
+        return dpus
+
+    def test_migration_drops_plans_and_recompiles(self):
+        vpim, session = _session(nr_ranks=2, plans=True)
+        dpus = self._warm(session)
+        device = session.vm.devices[0]
+        plans = device.frontend.plans
+        assert plans.nr_plans > 0 and plans.hits > 0
+
+        invalidated_before = plans.invalidations
+        migrate_device(device, vpim.manager)
+        assert plans.nr_plans == 0, "migration must drop every plan"
+        assert plans.invalidations > invalidated_before
+
+        # The same shape recompiles against the new rank and the data
+        # plane still round-trips correctly.
+        misses_before = plans.misses
+        dpus.push_to_mram(0, [np.full(512, 7, np.uint8)] * 4)
+        got = dpus.push_from_mram(0, 512)
+        assert all((buf == 7).all() for buf in got)
+        assert plans.misses > misses_before
+        dpus.__exit__(None, None, None)
+
+    def test_failover_reason_drops_plans_but_release_does_not(self):
+        """Digest-invalidation reasons that imply lost device state drop
+        plans; ``release``/``load`` (plan-safe reasons) must not — plan
+        validity is re-checked against guest generation and the XLB on
+        every hit, which is what makes cross-run replay possible."""
+        _, session = _session(plans=True)
+        dpus = self._warm(session)
+        frontend = session.vm.devices[0].frontend
+        assert frontend.plans.nr_plans > 0
+
+        kept = frontend.plans.nr_plans
+        frontend._invalidate_digests("release")
+        assert frontend.plans.nr_plans == kept, \
+            "release must not drop compiled plans"
+        frontend._invalidate_digests("load")
+        assert frontend.plans.nr_plans == kept
+
+        frontend._invalidate_digests("failover")
+        assert frontend.plans.nr_plans == 0, "failover must drop plans"
+        assert frontend.plans.invalidations >= kept
+        dpus.__exit__(None, None, None)
+
+    def test_failover_recovery_path_replays_correctly(self):
+        """After a failover-style invalidation the next transfer
+        recompiles and the data plane stays correct."""
+        _, session = _session(plans=True)
+        dpus = self._warm(session)
+        frontend = session.vm.devices[0].frontend
+        frontend._invalidate_digests("failover")
+
+        dpus.push_to_mram(0, [np.full(512, 3, np.uint8)] * 4)
+        got = dpus.push_from_mram(0, 512)
+        assert all((buf == 3).all() for buf in got)
+        assert frontend.plans.nr_plans > 0
+        dpus.__exit__(None, None, None)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
